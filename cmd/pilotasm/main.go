@@ -1,0 +1,128 @@
+// Command pilotasm assembles, disassembles, and runs kernels written in
+// the textual assembly syntax (see internal/asm).
+//
+// Usage:
+//
+//	pilotasm -dis <benchmark>          disassemble a bundled benchmark
+//	pilotasm -run <file.s> [flags]     assemble a file and execute it
+//	pilotasm -check <file.s>           assemble and validate only
+//
+// Run flags: -threads (per CTA), -ctas, -design, -profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pilotrf/internal/asm"
+	"pilotrf/internal/cfg"
+	"pilotrf/internal/kernel"
+	"pilotrf/internal/profile"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/sim"
+	"pilotrf/internal/workloads"
+)
+
+func main() {
+	var (
+		dis     = flag.String("dis", "", "disassemble a bundled benchmark's kernels")
+		runFile = flag.String("run", "", "assemble and run an assembly file")
+		check   = flag.String("check", "", "assemble and validate an assembly file")
+		dot     = flag.String("dot", "", "assemble a file and emit its control flow graph as Graphviz DOT")
+		threads = flag.Int("threads", 256, "threads per CTA for -run")
+		ctas    = flag.Int("ctas", 32, "CTAs for -run")
+		design  = flag.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
+		prof    = flag.String("profile", "hybrid", "static | compiler | pilot | hybrid")
+	)
+	flag.Parse()
+
+	switch {
+	case *dis != "":
+		w, err := workloads.ByName(*dis)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range w.Kernels {
+			fmt.Printf("# %s: %d threads/CTA x %d CTAs\n", k.Prog.Name, k.ThreadsPerCTA, k.NumCTAs)
+			fmt.Println(asm.Text(k.Prog))
+		}
+	case *dot != "":
+		prog := mustAssemble(*dot)
+		fmt.Print(cfg.Build(prog).Dot())
+	case *check != "":
+		prog := mustAssemble(*check)
+		if err := cfg.CheckReconvergence(prog); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: OK (%d instructions, %d registers/thread, reconvergence points verified)\n",
+			prog.Name, prog.Len(), prog.NumRegs)
+	case *runFile != "":
+		prog := mustAssemble(*runFile)
+		cfg := sim.DefaultConfig()
+		switch *design {
+		case "mrf-stv":
+			cfg = cfg.WithDesign(regfile.DesignMonolithicSTV)
+		case "mrf-ntv":
+			cfg = cfg.WithDesign(regfile.DesignMonolithicNTV)
+		case "part":
+			cfg = cfg.WithDesign(regfile.DesignPartitioned)
+		case "part-adaptive":
+			cfg = cfg.WithDesign(regfile.DesignPartitionedAdaptive)
+		default:
+			fatal(fmt.Errorf("unknown design %q", *design))
+		}
+		switch *prof {
+		case "static":
+			cfg.Profiling = profile.TechniqueStaticFirstN
+		case "compiler":
+			cfg.Profiling = profile.TechniqueCompiler
+		case "pilot":
+			cfg.Profiling = profile.TechniquePilot
+		case "hybrid":
+			cfg.Profiling = profile.TechniqueHybrid
+		default:
+			fatal(fmt.Errorf("unknown profile %q", *prof))
+		}
+		g, err := sim.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		k := &kernel.Kernel{Prog: prog, ThreadsPerCTA: *threads, NumCTAs: *ctas}
+		ks, err := g.RunKernel(k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("kernel    %s\n", prog.Name)
+		fmt.Printf("cycles    %d\n", ks.Cycles)
+		fmt.Printf("instrs    %d warp / %d thread\n", ks.WarpInstrs, ks.ThreadInstrs)
+		fmt.Printf("accesses  %d reads / %d writes\n", ks.RegReads, ks.RegWrites)
+		fmt.Printf("FRF share %.1f%%  (low-mode share of FRF: %.1f%%)\n",
+			ks.FRFShare()*100, ks.FRFLowShareOfFRF()*100)
+		fmt.Printf("top-4 registers:")
+		for _, kv := range ks.RegHist.TopN(4) {
+			fmt.Printf("  R%d(%d)", kv.Key, kv.Count)
+		}
+		fmt.Println()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func mustAssemble(path string) *kernel.Program {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

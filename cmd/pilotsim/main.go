@@ -1,0 +1,162 @@
+// Command pilotsim runs one benchmark (or all of them) on a chosen
+// register file design and prints the statistics the paper's evaluation
+// is built from: cycles, register access distribution, FRF share, pilot
+// fraction, and profiling quality.
+//
+// Usage:
+//
+//	pilotsim [-bench name] [-design mrf-stv|mrf-ntv|part|part-adaptive]
+//	         [-profile static|compiler|pilot|hybrid] [-sched gto|lrr|tl]
+//	         [-sms n] [-scale f] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pilotrf/internal/profile"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/sim"
+	"pilotrf/internal/workloads"
+)
+
+// countingTracer prints the first N pipeline events to stdout.
+type countingTracer struct {
+	limit int
+	seen  int
+}
+
+// Event implements sim.Tracer.
+func (t *countingTracer) Event(e sim.TraceEvent) {
+	if t.seen < t.limit {
+		fmt.Println(e.String())
+		t.seen++
+	}
+}
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "benchmark name (empty = all)")
+		design    = flag.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
+		prof      = flag.String("profile", "hybrid", "static | compiler | pilot | hybrid")
+		sched     = flag.String("sched", "gto", "gto | lrr | tl | fg")
+		sms       = flag.Int("sms", 2, "number of SMs")
+		scale     = flag.Float64("scale", 1, "CTA count scale factor")
+		verbose   = flag.Bool("v", false, "per-kernel detail")
+		traceN    = flag.Int("trace", 0, "print the first N pipeline trace events")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = *sms
+	switch *design {
+	case "mrf-stv":
+		cfg = cfg.WithDesign(regfile.DesignMonolithicSTV)
+	case "mrf-ntv":
+		cfg = cfg.WithDesign(regfile.DesignMonolithicNTV)
+	case "part":
+		cfg = cfg.WithDesign(regfile.DesignPartitioned)
+	case "part-adaptive":
+		cfg = cfg.WithDesign(regfile.DesignPartitionedAdaptive)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	switch *prof {
+	case "static":
+		cfg.Profiling = profile.TechniqueStaticFirstN
+	case "compiler":
+		cfg.Profiling = profile.TechniqueCompiler
+	case "pilot":
+		cfg.Profiling = profile.TechniquePilot
+	case "hybrid":
+		cfg.Profiling = profile.TechniqueHybrid
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *prof)
+		os.Exit(2)
+	}
+	switch *sched {
+	case "gto":
+		cfg.Policy = sim.PolicyGTO
+	case "lrr":
+		cfg.Policy = sim.PolicyLRR
+	case "tl":
+		cfg.Policy = sim.PolicyTL
+	case "fg":
+		cfg.Policy = sim.PolicyFetchGroup
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+
+	var wls []workloads.Workload
+	if *benchName == "" {
+		wls = workloads.All()
+	} else {
+		w, err := workloads.ByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		wls = []workloads.Workload{w}
+	}
+
+	var tracer *countingTracer
+	if *traceN > 0 {
+		tracer = &countingTracer{limit: *traceN}
+		cfg.Tracer = tracer
+	}
+
+	fmt.Printf("%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
+		"bench", "cycles", "accesses", "top3", "top4", "top5", "FRF%", "low%", "pilot%", "cgap")
+	for _, w := range wls {
+		w = w.Scale(*scale)
+		g, err := sim.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rs, err := g.RunKernels(w.Name, w.Kernels)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", w.Name, err)
+			os.Exit(1)
+		}
+		// Compiler-vs-oracle top-4 capture gap (Figure 4's category axis).
+		var cgap, totalW float64
+		for ki, k := range w.Kernels {
+			h := rs.Kernels[ki].RegHist
+			top := profile.CompilerTopN(k.Prog, 4)
+			keys := make([]int, len(top))
+			for i, r := range top {
+				keys[i] = int(r)
+			}
+			wgt := float64(h.Total())
+			cgap += (h.TopNShare(4) - h.Share(keys)) * wgt
+			totalW += wgt
+		}
+		if totalW > 0 {
+			cgap /= totalW
+		}
+		pilotFrac := 0.0
+		if len(rs.Kernels) > 0 {
+			pilotFrac = rs.Kernels[0].PilotFraction
+		}
+		var lowShare float64
+		parts := rs.PartAccesses()
+		if frf := parts[regfile.PartFRFHigh] + parts[regfile.PartFRFLow]; frf > 0 {
+			lowShare = float64(parts[regfile.PartFRFLow]) / float64(frf)
+		}
+		fmt.Printf("%-10s %9d %8d %6.2f %6.2f %6.2f %7.2f %7.2f %7.2f %7.2f\n",
+			w.Name, rs.TotalCycles(), rs.TotalAccesses(),
+			rs.TopNShareByKernel(3), rs.TopNShareByKernel(4), rs.TopNShareByKernel(5),
+			rs.FRFShare()*100, lowShare*100, pilotFrac*100, cgap)
+		if *verbose {
+			for _, ks := range rs.Kernels {
+				fmt.Printf("    %-28s cycles=%-8d instrs=%-8d util=%.2f FRF=%.2f pilot=%.2f simt=%.2f colstall=%d bankq=%.2f\n",
+					ks.Name, ks.Cycles, ks.WarpInstrs, ks.IssueUtilization(), ks.FRFShare(), ks.PilotFraction,
+					ks.SIMTEfficiency(), ks.CollectorStalls, ks.AvgBankQueue(cfg.RF.Banks))
+			}
+		}
+	}
+}

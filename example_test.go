@@ -1,0 +1,75 @@
+package pilotrf_test
+
+import (
+	"fmt"
+
+	"pilotrf"
+)
+
+// ExampleNewSimulator runs one of the Table I benchmarks on the paper's
+// full design point and reads the headline metrics.
+func ExampleNewSimulator() {
+	opts := pilotrf.PaperOptions()
+	opts.SMs = 1
+	opts.Scale = 0.1 // scaled-down grid for a fast example run
+	sim, err := pilotrf.NewSimulator(opts)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sim.RunBenchmark("srad")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ran %d kernels, RF leakage %.1f mW\n", len(res.Stats.Kernels), res.Energy.LeakageMW)
+	// Output: ran 2 kernels, RF leakage 20.7 mW
+}
+
+// ExampleAssemble builds a kernel from assembly text and checks its SIMT
+// reconvergence points.
+func ExampleAssemble() {
+	prog, err := pilotrf.Assemble(`
+.kernel axpy
+.regs 6
+    S2R   R0, SR_TID
+    SHLI  R1, R0, 2
+    LDG   R2, [R1+0]
+    IMAD  R3, R2, R2, R3
+    STG   [R1+0], R3
+    EXIT
+`)
+	if err != nil {
+		panic(err)
+	}
+	if err := pilotrf.CheckReconvergence(prog); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s: %d instructions\n", prog.Name, prog.Len())
+	// Output: axpy: 6 instructions
+}
+
+// ExampleNewKernelBuilder writes the same kernel with the builder API.
+func ExampleNewKernelBuilder() {
+	b := pilotrf.NewKernelBuilder("saxpy", 8)
+	b.S2R(pilotrf.R(0), pilotrf.SRTid)
+	b.SHLI(pilotrf.R(1), pilotrf.R(0), 2)
+	b.CountedLoop(pilotrf.R(2), pilotrf.P(0), 16, func() {
+		b.LDG(pilotrf.R(3), pilotrf.R(1), 0)
+		b.FFMA(pilotrf.R(4), pilotrf.R(3), pilotrf.R(4), pilotrf.R(4))
+		b.IADDI(pilotrf.R(1), pilotrf.R(1), 4)
+	})
+	b.STG(pilotrf.R(1), 0, pilotrf.R(4))
+	b.EXIT()
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(prog.Name, "builds OK")
+	// Output: saxpy builds OK
+}
+
+// ExampleBenchmarks lists the bundled Table I workloads.
+func ExampleBenchmarks() {
+	names := pilotrf.Benchmarks()
+	fmt.Println(len(names), "benchmarks; first:", names[0])
+	// Output: 17 benchmarks; first: BFS
+}

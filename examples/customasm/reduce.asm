@@ -1,0 +1,32 @@
+# A tree reduction written in assembly: each thread accumulates a strided
+# slice of the input, then the warp collapses it with five SHFL butterfly
+# rounds. The accumulator and cursor are the dynamically hot registers —
+# a shape the pilot warp identifies and the FRF absorbs.
+.kernel reduce
+.regs 10
+
+    S2R   R0, SR_TID
+    S2R   R9, SR_LANE
+    SHLI  R1, R0, 2        # element cursor (hot)
+    MOVI  R2, 0            # partial sum (hot)
+    MOVI  R3, 0            # trip counter
+loop:
+    LDS   R4, [R1+0]       # strided element (hot)
+    IADD  R2, R2, R4
+    IADDI R1, R1, 128
+    IADDI R3, R3, 1
+    SETPI.LT P0, R3, 24
+    @P0 BRA loop
+
+    # Warp-level butterfly: R2 += R2 of lane (lane ^ delta).
+    MOVI  R5, 16
+fold:
+    XOR   R6, R9, R5
+    SHFL  R7, R2, R6
+    IADD  R2, R2, R7
+    SHRI  R5, R5, 1
+    SETPI.GE P1, R5, 1
+    @P1 BRA fold
+
+    STG   [R1+0], R2
+    EXIT

@@ -1,0 +1,64 @@
+// Tracing: attach the pipeline flight recorder to a run and show what the
+// SM did cycle by cycle — issues, bank accesses with their partition
+// routing, memory transactions, FRF power-mode switches, and the moment
+// the pilot warp finishes and the swapping table is reconfigured.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pilotrf"
+)
+
+func main() {
+	s, err := pilotrf.NewSimulator(pilotrf.Options{
+		SMs:       1,
+		Design:    pilotrf.DesignPartitionedAdaptive,
+		Profiling: pilotrf.ProfileHybrid,
+		Scale:     0.05,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracer := pilotrf.NewRingTracer(200_000)
+	s.Config().Tracer = tracer
+
+	res, err := s.RunBenchmark("kmeans")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events := tracer.Events()
+	fmt.Printf("run finished in %d cycles; recorded %d pipeline events\n\n", res.Cycles(), len(events))
+
+	// Show the first instructions flowing through the pipeline.
+	fmt.Println("first 15 events:")
+	for _, e := range events[:15] {
+		fmt.Println(" ", e)
+	}
+
+	// Find the pilot completion and the first FRF mode switches.
+	fmt.Println("\nkey moments:")
+	shown := 0
+	for _, e := range events {
+		switch e.Kind.String() {
+		case "pilot-done", "mode-switch":
+			fmt.Println(" ", e)
+			shown++
+		}
+		if shown >= 8 {
+			break
+		}
+	}
+
+	// Tally where the time went, by event kind.
+	kinds := map[string]int{}
+	for _, e := range events {
+		kinds[e.Kind.String()]++
+	}
+	fmt.Println("\nevent totals:")
+	for _, k := range []string{"issue", "bank", "dispatch", "writeback", "mem-start", "mode-switch"} {
+		fmt.Printf("  %-12s %d\n", k, kinds[k])
+	}
+}

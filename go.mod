@@ -1,0 +1,3 @@
+module pilotrf
+
+go 1.22

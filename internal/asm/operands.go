@@ -1,0 +1,246 @@
+package asm
+
+import (
+	"strings"
+
+	"pilotrf/internal/isa"
+)
+
+// applyOperands fills the instruction's operand slots according to the
+// opcode's assembly shape.
+func (p *parser) applyOperands(line int, in *isa.Instruction, op isa.Op, ops []string) error {
+	want := func(n int) error {
+		if len(ops) != n {
+			return errf(line, "%s wants %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(s string) (isa.Reg, error) {
+		r, err := parseReg(s)
+		if err != nil {
+			return 0, errf(line, "%v", err)
+		}
+		return r, nil
+	}
+	imm := func(s string) (int32, error) {
+		v, err := parseImm(s)
+		if err != nil {
+			return 0, errf(line, "%v", err)
+		}
+		return v, nil
+	}
+
+	var err error
+	switch op {
+	case isa.OpNOP, isa.OpEXIT, isa.OpBAR:
+		return want(0)
+
+	case isa.OpMOV, isa.OpFRCP, isa.OpFSQRT, isa.OpFEXP:
+		if err = want(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		in.SrcA, err = reg(ops[1])
+		return err
+
+	case isa.OpMOVI:
+		if err = want(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		in.Imm, err = imm(ops[1])
+		return err
+
+	case isa.OpS2R:
+		if err = want(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		sp, err := parseSpecial(ops[1])
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		in.Special = sp
+		return nil
+
+	case isa.OpIADD, isa.OpISUB, isa.OpIMUL, isa.OpAND, isa.OpOR, isa.OpXOR,
+		isa.OpIMIN, isa.OpIMAX, isa.OpFADD, isa.OpFMUL, isa.OpSHFL:
+		if err = want(3); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		if in.SrcA, err = reg(ops[1]); err != nil {
+			return err
+		}
+		in.SrcB, err = reg(ops[2])
+		return err
+
+	case isa.OpIADDI, isa.OpIMULI, isa.OpANDI, isa.OpSHLI, isa.OpSHRI:
+		if err = want(3); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		if in.SrcA, err = reg(ops[1]); err != nil {
+			return err
+		}
+		in.Imm, err = imm(ops[2])
+		return err
+
+	case isa.OpIMAD, isa.OpFFMA:
+		if err = want(4); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		if in.SrcA, err = reg(ops[1]); err != nil {
+			return err
+		}
+		if in.SrcB, err = reg(ops[2]); err != nil {
+			return err
+		}
+		in.SrcC, err = reg(ops[3])
+		return err
+
+	case isa.OpSEL:
+		if err = want(4); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		if in.SrcA, err = reg(ops[1]); err != nil {
+			return err
+		}
+		if in.SrcB, err = reg(ops[2]); err != nil {
+			return err
+		}
+		pr, perr := parsePred(ops[3])
+		if perr != nil {
+			return errf(line, "%v", perr)
+		}
+		in.SrcPred = pr
+		return nil
+
+	case isa.OpSETP:
+		if err = want(3); err != nil {
+			return err
+		}
+		pr, perr := parsePred(ops[0])
+		if perr != nil {
+			return errf(line, "%v", perr)
+		}
+		in.PDst = pr
+		if in.SrcA, err = reg(ops[1]); err != nil {
+			return err
+		}
+		in.SrcB, err = reg(ops[2])
+		return err
+
+	case isa.OpSETPI:
+		if err = want(3); err != nil {
+			return err
+		}
+		pr, perr := parsePred(ops[0])
+		if perr != nil {
+			return errf(line, "%v", perr)
+		}
+		in.PDst = pr
+		if in.SrcA, err = reg(ops[1]); err != nil {
+			return err
+		}
+		in.Imm, err = imm(ops[2])
+		return err
+
+	case isa.OpLDG, isa.OpLDS:
+		if err = want(2); err != nil {
+			return err
+		}
+		if in.Dst, err = reg(ops[0]); err != nil {
+			return err
+		}
+		addr, off, merr := parseMem(ops[1])
+		if merr != nil {
+			return errf(line, "%v", merr)
+		}
+		in.SrcA, in.Imm = addr, off
+		return nil
+
+	case isa.OpSTG, isa.OpSTS:
+		if err = want(2); err != nil {
+			return err
+		}
+		addr, off, merr := parseMem(ops[0])
+		if merr != nil {
+			return errf(line, "%v", merr)
+		}
+		in.SrcA, in.Imm = addr, off
+		in.SrcB, err = reg(ops[1])
+		return err
+
+	case isa.OpBRA:
+		// "BRA target" or "BRA target !reconv label".
+		if len(ops) == 0 || len(ops) > 1 {
+			// A single operand possibly containing "!reconv".
+			if len(ops) != 1 {
+				return errf(line, "BRA wants a target label")
+			}
+		}
+		fields := strings.Fields(ops[0])
+		pb := pendingBranch{pc: len(p.instrs), line: line}
+		switch {
+		case len(fields) == 1:
+			pb.target = fields[0]
+		case len(fields) == 3 && fields[1] == "!reconv":
+			pb.target, pb.reconv = fields[0], fields[2]
+		default:
+			return errf(line, "bad branch syntax %q", ops[0])
+		}
+		if !isIdent(pb.target) || (pb.reconv != "" && !isIdent(pb.reconv)) {
+			return errf(line, "bad branch labels in %q", ops[0])
+		}
+		p.pending = append(p.pending, pb)
+		return nil
+
+	default:
+		return errf(line, "unhandled opcode %v", op)
+	}
+}
+
+// resolve fixes up branch targets and reconvergence points. The default
+// reconvergence rule: backward branches reconverge at their fall-through
+// (loop exits wait there); forward branches reconverge at their target
+// (the skip pattern).
+func (p *parser) resolve() error {
+	for _, pb := range p.pending {
+		target, ok := p.labels[pb.target]
+		if !ok {
+			return errf(pb.line, "undefined label %q", pb.target)
+		}
+		in := &p.instrs[pb.pc]
+		in.Target = target
+		switch {
+		case pb.reconv != "":
+			rpc, ok := p.labels[pb.reconv]
+			if !ok {
+				return errf(pb.line, "undefined reconvergence label %q", pb.reconv)
+			}
+			in.Reconv = rpc
+		case target <= pb.pc:
+			in.Reconv = pb.pc + 1
+		default:
+			in.Reconv = target
+		}
+	}
+	return nil
+}

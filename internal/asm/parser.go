@@ -1,0 +1,330 @@
+// Package asm is a textual assembler and pretty-printer for the ISA:
+// kernels can be written as assembly files (labels, guards, memory
+// operands) and assembled into kernel.Program values, and programs can
+// be rendered back to parseable assembly. The two directions round-trip,
+// which the tests enforce.
+//
+// Syntax:
+//
+//	.kernel demo          # program name
+//	.regs 12              # architected registers per thread
+//
+//	start:
+//	    S2R   R0, SR_TID
+//	    MOVI  R4, 0
+//	loop:
+//	    LDS   R5, [R8+0]
+//	    IADD  R4, R4, R5
+//	    SETPI.LT P0, R1, 10
+//	    @P0 BRA loop
+//	    STG   [R0+0], R4
+//	    EXIT
+//
+// Branch reconvergence points default to the fall-through instruction
+// for backward branches (the loop convention) and to the target for
+// forward branches (the skip convention); an explicit point is written
+// as "@P0 BRA target !reconv label".
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+)
+
+// Error is a parse error with a line number.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// pendingBranch records a branch awaiting label resolution.
+type pendingBranch struct {
+	pc     int
+	line   int
+	target string
+	reconv string // empty = default rule
+}
+
+type parser struct {
+	name    string
+	regs    int
+	instrs  []isa.Instruction
+	labels  map[string]int
+	pending []pendingBranch
+}
+
+// Assemble parses assembly text into a validated program.
+func Assemble(src string) (*kernel.Program, error) {
+	p := &parser{labels: make(map[string]int)}
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := stripComment(raw)
+		if text == "" {
+			continue
+		}
+		if err := p.parseLine(line, text); err != nil {
+			return nil, err
+		}
+	}
+	if p.name == "" {
+		return nil, errf(0, "missing .kernel directive")
+	}
+	if p.regs == 0 {
+		return nil, errf(0, "missing .regs directive")
+	}
+	if err := p.resolve(); err != nil {
+		return nil, err
+	}
+	prog := &kernel.Program{Name: p.name, NumRegs: p.regs, Instrs: p.instrs}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexAny(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "//"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+func (p *parser) parseLine(line int, text string) error {
+	switch {
+	case strings.HasPrefix(text, ".kernel"):
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return errf(line, ".kernel wants exactly one name")
+		}
+		p.name = fields[1]
+		return nil
+	case strings.HasPrefix(text, ".regs"):
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return errf(line, ".regs wants exactly one count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n <= 0 || n > isa.MaxRegs {
+			return errf(line, "bad register count %q", fields[1])
+		}
+		p.regs = n
+		return nil
+	case strings.HasSuffix(text, ":"):
+		label := strings.TrimSuffix(text, ":")
+		if !isIdent(label) {
+			return errf(line, "bad label %q", label)
+		}
+		if _, dup := p.labels[label]; dup {
+			return errf(line, "label %q defined twice", label)
+		}
+		p.labels[label] = len(p.instrs)
+		return nil
+	default:
+		return p.parseInstr(line, text)
+	}
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// blank returns an instruction template with all operand slots cleared.
+func blank(op isa.Op) isa.Instruction {
+	return isa.Instruction{
+		Op:      op,
+		Dst:     isa.RegNone,
+		SrcA:    isa.RegNone,
+		SrcB:    isa.RegNone,
+		SrcC:    isa.RegNone,
+		PDst:    isa.PredNone,
+		SrcPred: isa.PredNone,
+	}
+}
+
+func (p *parser) parseInstr(line int, text string) error {
+	guard := isa.GuardAlways
+	if strings.HasPrefix(text, "@") {
+		sp := strings.IndexAny(text, " \t")
+		if sp < 0 {
+			return errf(line, "guard without an instruction")
+		}
+		g, err := parseGuard(text[:sp])
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		guard = g
+		text = strings.TrimSpace(text[sp:])
+	}
+
+	sp := strings.IndexAny(text, " \t")
+	mnemonic := text
+	rest := ""
+	if sp >= 0 {
+		mnemonic, rest = text[:sp], strings.TrimSpace(text[sp:])
+	}
+	cmp := isa.CmpOp(0)
+	hasCmp := false
+	if dot := strings.Index(mnemonic, "."); dot >= 0 {
+		c, err := parseCmp(mnemonic[dot+1:])
+		if err != nil {
+			return errf(line, "%v", err)
+		}
+		cmp, hasCmp = c, true
+		mnemonic = mnemonic[:dot]
+	}
+	op, ok := opByName(mnemonic)
+	if !ok {
+		return errf(line, "unknown mnemonic %q", mnemonic)
+	}
+	in := blank(op)
+	in.Guard = guard
+	if hasCmp {
+		in.Cmp = cmp
+	}
+
+	ops := splitOperands(rest)
+	if err := p.applyOperands(line, &in, op, ops); err != nil {
+		return err
+	}
+	p.instrs = append(p.instrs, in)
+	return nil
+}
+
+// splitOperands splits on commas outside brackets.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func parseGuard(s string) (isa.Guard, error) {
+	body := strings.TrimPrefix(s, "@")
+	neg := strings.HasPrefix(body, "!")
+	body = strings.TrimPrefix(body, "!")
+	pr, err := parsePred(body)
+	if err != nil {
+		return isa.Guard{}, err
+	}
+	return isa.Guard{Pred: pr, Neg: neg}, nil
+}
+
+func parsePred(s string) (isa.Pred, error) {
+	if s == "PT" {
+		return isa.PT, nil
+	}
+	if strings.HasPrefix(s, "P") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < isa.NumPreds {
+			return isa.Pred(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad predicate %q", s)
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if s == "RZ" {
+		return isa.RZ, nil
+	}
+	if strings.HasPrefix(s, "R") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < isa.MaxRegs {
+			return isa.Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMem parses "[Rn+imm]" or "[Rn]".
+func parseMem(s string) (isa.Reg, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	body := s[1 : len(s)-1]
+	regPart, immPart := body, ""
+	if i := strings.IndexAny(body, "+-"); i > 0 {
+		regPart, immPart = body[:i], body[i:]
+	}
+	r, err := parseReg(strings.TrimSpace(regPart))
+	if err != nil {
+		return 0, 0, err
+	}
+	var imm int32
+	if immPart != "" {
+		imm, err = parseImm(strings.TrimSpace(immPart))
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return r, imm, nil
+}
+
+func parseSpecial(s string) (isa.Special, error) {
+	for _, sp := range []isa.Special{isa.SRTid, isa.SRCTAid, isa.SRNTid, isa.SRNCTAid, isa.SRLane, isa.SRWarpID} {
+		if sp.String() == s {
+			return sp, nil
+		}
+	}
+	return 0, fmt.Errorf("bad special register %q", s)
+}
+
+func parseCmp(s string) (isa.CmpOp, error) {
+	for _, c := range []isa.CmpOp{isa.CmpEQ, isa.CmpNE, isa.CmpLT, isa.CmpLE, isa.CmpGT, isa.CmpGE} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("bad comparison %q", s)
+}
+
+func opByName(name string) (isa.Op, bool) { return isa.OpByName(name) }

@@ -1,0 +1,35 @@
+package asm
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pilotrf/internal/kerngen"
+)
+
+// Property: Text/Assemble round-trips arbitrary structured programs from
+// the shared kernel generator.
+func TestPropertyRoundTripRandomPrograms(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := kerngen.Program(seed, kerngen.Options{Barriers: true})
+		back, err := Assemble(Text(p))
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, Text(p))
+			return false
+		}
+		if back.Len() != p.Len() || back.NumRegs != p.NumRegs {
+			return false
+		}
+		for pc := range p.Instrs {
+			if !reflect.DeepEqual(p.Instrs[pc], back.Instrs[pc]) {
+				t.Logf("seed %d pc %d: %+v != %+v", seed, pc, p.Instrs[pc], back.Instrs[pc])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package cfg builds instruction-level control flow graphs for kernel
+// programs and computes post-dominators. Its purpose is verification:
+// the SIMT reconvergence point of every divergent branch must be the
+// branch's immediate post-dominator (the earliest instruction every path
+// is guaranteed to reach), or lanes would wait at the wrong place. The
+// kernel builder and the assembler both encode reconvergence points by
+// convention; CheckReconvergence proves those conventions correct for a
+// given program.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+)
+
+// Graph is an instruction-level control flow graph. Node i is the
+// instruction at pc i; node len(instrs) is the virtual exit that every
+// EXIT reaches.
+type Graph struct {
+	prog  *kernel.Program
+	succs [][]int
+	preds [][]int
+	// ipdom[i] is the immediate post-dominator of node i (the virtual
+	// exit post-dominates itself); -1 for unreachable nodes.
+	ipdom []int
+}
+
+// Build constructs the CFG and computes post-dominators.
+func Build(p *kernel.Program) *Graph {
+	n := p.Len()
+	g := &Graph{
+		prog:  p,
+		succs: make([][]int, n+1),
+		preds: make([][]int, n+1),
+	}
+	exit := n
+	addEdge := func(from, to int) {
+		g.succs[from] = append(g.succs[from], to)
+		g.preds[to] = append(g.preds[to], from)
+	}
+	for pc := 0; pc < n; pc++ {
+		in := p.At(pc)
+		switch in.Op {
+		case isa.OpBRA:
+			addEdge(pc, in.Target)
+			if conditional(in) {
+				addEdge(pc, pc+1)
+			}
+		case isa.OpEXIT:
+			addEdge(pc, exit)
+			if conditional(in) && pc+1 < n {
+				addEdge(pc, pc+1)
+			}
+		default:
+			if pc+1 < n {
+				addEdge(pc, pc+1)
+			} else {
+				// Falling off the end terminates the warp.
+				addEdge(pc, exit)
+			}
+		}
+	}
+	g.computePostDominators()
+	return g
+}
+
+// conditional reports whether the instruction's guard can split a warp.
+func conditional(in *isa.Instruction) bool {
+	return !(in.Guard.Pred == isa.PT && !in.Guard.Neg)
+}
+
+// Succs returns the successors of pc (the virtual exit is Len()).
+func (g *Graph) Succs(pc int) []int { return g.succs[pc] }
+
+// Preds returns the predecessors of pc.
+func (g *Graph) Preds(pc int) []int { return g.preds[pc] }
+
+// ExitNode returns the virtual exit node id.
+func (g *Graph) ExitNode() int { return len(g.succs) - 1 }
+
+// computePostDominators runs the standard iterative dataflow:
+// pdom(exit) = {exit}; pdom(n) = {n} ∪ ⋂ pdom(succ). Sets are bitsets
+// over nodes; programs are small (tens to hundreds of instructions), so
+// the dense representation is fine.
+func (g *Graph) computePostDominators() {
+	n := len(g.succs)
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << uint(i%64)
+	}
+	pdom := make([][]uint64, n)
+	exit := g.ExitNode()
+	for i := range pdom {
+		pdom[i] = make([]uint64, words)
+		if i == exit {
+			pdom[i][i/64] = 1 << uint(i%64)
+		} else {
+			copy(pdom[i], full)
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if i == exit {
+				continue
+			}
+			next := make([]uint64, words)
+			copy(next, full)
+			if len(g.succs[i]) == 0 {
+				// Unreachable-from-exit node: keep the full set.
+				continue
+			}
+			for _, s := range g.succs[i] {
+				for w := range next {
+					next[w] &= pdom[s][w]
+				}
+			}
+			next[i/64] |= 1 << uint(i%64)
+			if !equal(next, pdom[i]) {
+				pdom[i] = next
+				changed = true
+			}
+		}
+	}
+
+	// Immediate post-dominator: the unique nearest strict
+	// post-dominator — the strict post-dominator that is itself
+	// post-dominated by every other strict post-dominator of i.
+	g.ipdom = make([]int, n)
+	for i := range g.ipdom {
+		g.ipdom[i] = -1
+	}
+	g.ipdom[exit] = exit
+	for i := 0; i < n; i++ {
+		if i == exit {
+			continue
+		}
+		// ipdom = the strict post-dominator c such that every other
+		// strict post-dominator d of i post-dominates c (d is reached
+		// no earlier than c on every path).
+		best := -1
+		for c := 0; c < n; c++ {
+			if c == i || !bit(pdom[i], c) {
+				continue
+			}
+			isImmediate := true
+			for d := 0; d < n; d++ {
+				if d == i || d == c || !bit(pdom[i], d) {
+					continue
+				}
+				if !bit(pdom[c], d) {
+					isImmediate = false
+					break
+				}
+			}
+			if isImmediate {
+				best = c
+				break
+			}
+		}
+		g.ipdom[i] = best
+	}
+}
+
+func bit(set []uint64, i int) bool { return set[i/64]&(1<<uint(i%64)) != 0 }
+
+func equal(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ImmediatePostDom returns the immediate post-dominator of pc, or the
+// virtual exit node when control never reconverges.
+func (g *Graph) ImmediatePostDom(pc int) int { return g.ipdom[pc] }
+
+// Reachable returns the set of instructions reachable from entry.
+func (g *Graph) Reachable() []bool {
+	seen := make([]bool, len(g.succs))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.succs[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// CheckReconvergence verifies that every divergent branch's encoded
+// reconvergence point equals its immediate post-dominator. Branches
+// whose immediate post-dominator is the virtual exit (a path that never
+// reconverges because some lanes exit) are exempt: their entries drain
+// through lane exits instead.
+func CheckReconvergence(p *kernel.Program) error {
+	g := Build(p)
+	reach := g.Reachable()
+	for pc := 0; pc < p.Len(); pc++ {
+		in := p.At(pc)
+		if in.Op != isa.OpBRA || !conditional(in) || !reach[pc] {
+			continue
+		}
+		ip := g.ImmediatePostDom(pc)
+		if ip == g.ExitNode() {
+			continue
+		}
+		if in.Reconv != ip {
+			return fmt.Errorf("cfg: %s pc %d: reconvergence point %d, immediate post-dominator %d",
+				p.Name, pc, in.Reconv, ip)
+		}
+	}
+	return nil
+}
+
+// Dot renders the CFG in Graphviz format (a debugging aid).
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.prog.Name)
+	for pc := 0; pc < g.prog.Len(); pc++ {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", pc, fmt.Sprintf("%d: %s", pc, g.prog.At(pc).String()))
+	}
+	fmt.Fprintf(&b, "  n%d [label=\"exit\", shape=doublecircle];\n", g.ExitNode())
+	for from, succs := range g.succs {
+		for _, to := range succs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+	"pilotrf/internal/workloads"
+)
+
+func ifKernel(t *testing.T) *kernel.Program {
+	t.Helper()
+	b := kernel.NewBuilder("ifk", 6)
+	b.SETPI(isa.P(0), isa.R(0), isa.CmpGT, 5)
+	b.If(isa.P(0), false, func() {
+		b.IADDI(isa.R(1), isa.R(1), 1)
+	})
+	b.MOVI(isa.R(2), 3)
+	b.EXIT()
+	return b.MustBuild()
+}
+
+func TestIfReconvergenceIsPostDominator(t *testing.T) {
+	p := ifKernel(t)
+	if err := CheckReconvergence(p); err != nil {
+		t.Fatalf("CheckReconvergence: %v", err)
+	}
+	g := Build(p)
+	// The skip branch at pc 1: its immediate post-dominator is the
+	// MOVI after the body.
+	if got := g.ImmediatePostDom(1); got != 3 {
+		t.Errorf("ipdom(branch) = %d, want 3", got)
+	}
+}
+
+func TestIfElseReconvergence(t *testing.T) {
+	b := kernel.NewBuilder("ifelse", 6)
+	b.SETPI(isa.P(1), isa.R(0), isa.CmpLT, 0)
+	b.IfElse(isa.P(1),
+		func() { b.MOVI(isa.R(1), 1) },
+		func() { b.MOVI(isa.R(1), 2) },
+	)
+	b.EXIT()
+	p := b.MustBuild()
+	if err := CheckReconvergence(p); err != nil {
+		t.Fatalf("CheckReconvergence: %v", err)
+	}
+	g := Build(p)
+	// Conditional branch at 1 diverges then/else; both rejoin at EXIT (5).
+	if got := g.ImmediatePostDom(1); got != 5 {
+		t.Errorf("ipdom = %d, want 5", got)
+	}
+}
+
+func TestLoopBackEdgeReconvergence(t *testing.T) {
+	b := kernel.NewBuilder("loop", 6)
+	b.CountedLoop(isa.R(0), isa.P(0), 4, func() {
+		b.IADDI(isa.R(1), isa.R(1), 1)
+	})
+	b.EXIT()
+	p := b.MustBuild()
+	if err := CheckReconvergence(p); err != nil {
+		t.Fatalf("CheckReconvergence: %v", err)
+	}
+}
+
+func TestNestedControlFlow(t *testing.T) {
+	b := kernel.NewBuilder("nested", 8)
+	b.S2R(isa.R(0), isa.SRLane)
+	b.RegCountedLoop(isa.R(1), isa.P(0), isa.R(0), func() {
+		b.SETPI(isa.P(1), isa.R(1), isa.CmpGT, 2)
+		b.If(isa.P(1), false, func() {
+			b.IADDI(isa.R(2), isa.R(2), 1)
+		})
+	})
+	b.EXIT()
+	p := b.MustBuild()
+	if err := CheckReconvergence(p); err != nil {
+		t.Fatalf("CheckReconvergence: %v", err)
+	}
+}
+
+// The structural invariant for the whole suite: every divergent branch in
+// every bundled workload reconverges exactly at its immediate
+// post-dominator.
+func TestAllWorkloadsReconvergeAtPostDominators(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, k := range w.Kernels {
+			if err := CheckReconvergence(k.Prog); err != nil {
+				t.Errorf("%s: %v", w.Name, err)
+			}
+		}
+	}
+}
+
+func TestWrongReconvergenceDetected(t *testing.T) {
+	p := ifKernel(t)
+	bad := &kernel.Program{Name: p.Name, NumRegs: p.NumRegs, Instrs: append([]isa.Instruction(nil), p.Instrs...)}
+	// Corrupt the skip branch's reconvergence point.
+	for pc := range bad.Instrs {
+		if bad.Instrs[pc].Op == isa.OpBRA {
+			bad.Instrs[pc].Reconv = bad.Instrs[pc].Reconv + 1
+		}
+	}
+	if err := CheckReconvergence(bad); err == nil {
+		t.Fatal("corrupted reconvergence point not detected")
+	}
+}
+
+func TestUnconditionalBranchExempt(t *testing.T) {
+	// An unconditional BRA's reconvergence point is irrelevant; the
+	// checker must not flag it.
+	b := kernel.NewBuilder("jump", 4)
+	l := b.NewLabel()
+	b.Bra(l)
+	b.MOVI(isa.R(0), 1) // dead code
+	b.Bind(l)
+	b.EXIT()
+	p := b.MustBuild()
+	if err := CheckReconvergence(p); err != nil {
+		t.Fatalf("CheckReconvergence flagged an unconditional branch: %v", err)
+	}
+}
+
+func TestGuardedExitEdges(t *testing.T) {
+	b := kernel.NewBuilder("gexit", 4)
+	b.SETPI(isa.P(0), isa.R(0), isa.CmpLT, 8)
+	b.Guarded(isa.P(0), false, func() { b.EXIT() })
+	b.MOVI(isa.R(1), 5)
+	b.EXIT()
+	p := b.MustBuild()
+	g := Build(p)
+	// The guarded EXIT at pc 1 must have both the exit node and the
+	// fall-through as successors.
+	succs := g.Succs(1)
+	hasExit, hasFall := false, false
+	for _, s := range succs {
+		if s == g.ExitNode() {
+			hasExit = true
+		}
+		if s == 2 {
+			hasFall = true
+		}
+	}
+	if !hasExit || !hasFall {
+		t.Errorf("guarded EXIT successors = %v", succs)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	b := kernel.NewBuilder("dead", 4)
+	l := b.NewLabel()
+	b.Bra(l)
+	b.MOVI(isa.R(0), 1) // unreachable
+	b.Bind(l)
+	b.EXIT()
+	p := b.MustBuild()
+	reach := Build(p).Reachable()
+	if reach[1] {
+		t.Error("dead instruction marked reachable")
+	}
+	if !reach[0] || !reach[2] {
+		t.Error("live instructions marked unreachable")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	p := ifKernel(t)
+	dot := Build(p).Dot()
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Error("Dot output malformed")
+	}
+	if !strings.Contains(dot, "exit") {
+		t.Error("Dot output missing the virtual exit")
+	}
+}
+
+func TestPredsConsistentWithSuccs(t *testing.T) {
+	for _, w := range workloads.All()[:5] {
+		g := Build(w.Kernels[0].Prog)
+		for from := range g.succs {
+			for _, to := range g.Succs(from) {
+				found := false
+				for _, p := range g.Preds(to) {
+					if p == from {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("%s: edge %d->%d missing from preds", w.Name, from, to)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package energy converts the simulator's access counts and execution
+// times into register file energy figures, using the FinCACTI-derived
+// per-access energies and leakage powers (Table IV). It produces the
+// quantities Figures 11 and 13 and the leakage analysis report: dynamic
+// energy per design, leakage energy over the run, and savings normalized
+// to the MRF@STV baseline.
+package energy
+
+import (
+	"fmt"
+
+	"pilotrf/internal/fincacti"
+	"pilotrf/internal/finfet"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/rfc"
+)
+
+// ClockGHz is the SM clock (the paper's 900 MHz Kepler clock).
+const ClockGHz = 0.9
+
+// perAccessPJ returns the per-access energies for the four partitions,
+// indexed by regfile.Partition, given the MRF's operating voltage.
+func perAccessPJ(mrfVdd float64) [4]float64 {
+	var e [4]float64
+	e[regfile.PartMRF] = fincacti.MRFConfig(mrfVdd).AccessEnergyPJ()
+	e[regfile.PartFRFHigh] = fincacti.FRFConfig(fincacti.ModeNormal).AccessEnergyPJ()
+	e[regfile.PartFRFLow] = fincacti.FRFConfig(fincacti.ModeLowCap).AccessEnergyPJ()
+	e[regfile.PartSRF] = fincacti.SRFConfig().AccessEnergyPJ()
+	return e
+}
+
+// mrfVdd returns the MRF supply for a design (only meaningful for the
+// monolithic designs; partitioned designs never route to the MRF).
+func mrfVdd(d regfile.Design) float64 {
+	if d == regfile.DesignMonolithicNTV {
+		return finfet.NTV
+	}
+	return finfet.STV
+}
+
+// DynamicPJ returns the RF dynamic energy in picojoules for a run's
+// partition-access counts under the given design.
+func DynamicPJ(d regfile.Design, parts [4]uint64) float64 {
+	e := perAccessPJ(mrfVdd(d))
+	var total float64
+	for p, n := range parts {
+		total += float64(n) * e[p]
+	}
+	return total
+}
+
+// LeakageMW returns the total RF leakage power for a design in milliwatts.
+func LeakageMW(d regfile.Design) float64 {
+	switch d {
+	case regfile.DesignMonolithicSTV:
+		return fincacti.MRFConfig(finfet.STV).LeakagePowerMW()
+	case regfile.DesignMonolithicNTV:
+		return fincacti.MRFConfig(finfet.NTV).LeakagePowerMW()
+	case regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive:
+		return fincacti.FRFConfig(fincacti.ModeNormal).LeakagePowerMW() +
+			fincacti.SRFConfig().LeakagePowerMW()
+	default:
+		panic(fmt.Sprintf("energy: unknown design %v", d))
+	}
+}
+
+// LeakagePJ integrates a design's leakage power over a run of the given
+// number of cycles at the SM clock.
+func LeakagePJ(d regfile.Design, cycles int64) float64 {
+	// mW x ns = pJ.
+	nanos := float64(cycles) / ClockGHz
+	return LeakageMW(d) * nanos
+}
+
+// GatedLeakageMW returns a design's leakage when the rows of unallocated
+// registers are power-gated — the "Warped Register File" direction the
+// paper cites as related work, modeled here as an extension. occupancy is
+// the fraction of warp-register slots actually allocated by the resident
+// kernel (Table I: on average ~16 of 63 registers per thread). Cell-array
+// leakage scales with occupancy (plus a small always-on gating-network
+// overhead); periphery leakage is unaffected.
+func GatedLeakageMW(d regfile.Design, occupancy float64) float64 {
+	if occupancy < 0 || occupancy > 1 {
+		panic(fmt.Sprintf("energy: occupancy %g outside [0,1]", occupancy))
+	}
+	// Sleep transistors and gating control retain ~3% of the gated
+	// rows' leakage.
+	const gatingResidue = 0.03
+	eff := occupancy + (1-occupancy)*gatingResidue
+	gate := func(cfg fincacti.RFConfig) float64 {
+		cells, periph := cfg.LeakageBreakdownMW()
+		return cells*eff + periph
+	}
+	switch d {
+	case regfile.DesignMonolithicSTV:
+		return gate(fincacti.MRFConfig(finfet.STV))
+	case regfile.DesignMonolithicNTV:
+		return gate(fincacti.MRFConfig(finfet.NTV))
+	case regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive:
+		// The FRF is fully occupied by construction (it holds the
+		// top-N registers of every resident warp); gating applies to
+		// the SRF's unallocated rows.
+		frf := fincacti.FRFConfig(fincacti.ModeNormal).LeakagePowerMW()
+		return frf + gate(fincacti.SRFConfig())
+	default:
+		panic(fmt.Sprintf("energy: unknown design %v", d))
+	}
+}
+
+// Report is the RF energy breakdown of one run.
+type Report struct {
+	Design    regfile.Design
+	Cycles    int64
+	DynamicPJ float64
+	LeakageMW float64
+	LeakagePJ float64
+}
+
+// TotalPJ returns dynamic plus leakage energy.
+func (r Report) TotalPJ() float64 { return r.DynamicPJ + r.LeakagePJ }
+
+// ForRun builds the energy report for a run's partition counts and
+// duration under a design.
+func ForRun(d regfile.Design, parts [4]uint64, cycles int64) Report {
+	return Report{
+		Design:    d,
+		Cycles:    cycles,
+		DynamicPJ: DynamicPJ(d, parts),
+		LeakageMW: LeakageMW(d),
+		LeakagePJ: LeakagePJ(d, cycles),
+	}
+}
+
+// RFCBreakdown prices a register-file-cache run: tag checks, RFC data
+// accesses (hits, fills, and result writes), and the MRF traffic behind it
+// (read misses and dirty writebacks) at the MRF's operating voltage.
+type RFCBreakdown struct {
+	TagPJ  float64
+	DataPJ float64
+	MRFPJ  float64
+}
+
+// TotalPJ returns the summed RFC-path dynamic energy.
+func (b RFCBreakdown) TotalPJ() float64 { return b.TagPJ + b.DataPJ + b.MRFPJ }
+
+// RFCDynamic prices the RFC events of a run. cfg describes the RFC array;
+// vdd is the backing MRF's supply voltage.
+func RFCDynamic(st rfc.Stats, cfg fincacti.RFConfig, vdd float64) RFCBreakdown {
+	dataAccesses := st.ReadHits + st.Fills + st.Writes
+	mrfAccesses := st.MRFReads() + st.MRFWrites()
+	return RFCBreakdown{
+		TagPJ:  float64(st.TagChecks) * fincacti.RFCTagEnergyPJ(cfg),
+		DataPJ: float64(dataAccesses) * fincacti.RFCAccessEnergyPJ(cfg),
+		MRFPJ:  float64(mrfAccesses) * fincacti.MRFConfig(vdd).AccessEnergyPJ(),
+	}
+}
+
+// BaselineDynamicPJ returns what the same accesses would have cost on the
+// monolithic MRF@STV baseline — the normalization denominator used by
+// Figures 11 and 13.
+func BaselineDynamicPJ(totalAccesses uint64) float64 {
+	return float64(totalAccesses) * fincacti.MRFConfig(finfet.STV).AccessEnergyPJ()
+}
+
+// Savings returns 1 - (design energy / baseline energy).
+func Savings(designPJ, baselinePJ float64) float64 {
+	if baselinePJ == 0 {
+		return 0
+	}
+	return 1 - designPJ/baselinePJ
+}

@@ -1,0 +1,178 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"pilotrf/internal/fincacti"
+	"pilotrf/internal/finfet"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/rfc"
+)
+
+func approx(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %g, want %g (±%.1f%%)", name, got, want, relTol*100)
+	}
+}
+
+func TestDynamicPJMonolithic(t *testing.T) {
+	var parts [4]uint64
+	parts[regfile.PartMRF] = 1000
+	stv := DynamicPJ(regfile.DesignMonolithicSTV, parts)
+	approx(t, "1000 MRF@STV accesses", stv, 1000*14.9, 0.01)
+	ntv := DynamicPJ(regfile.DesignMonolithicNTV, parts)
+	if ntv >= stv {
+		t.Error("NTV dynamic energy not below STV")
+	}
+	// The paper: MRF@NTV saves ~47% of RF dynamic energy.
+	approx(t, "NTV saving", Savings(ntv, stv), 0.47, 0.1)
+}
+
+func TestDynamicPJPartitioned(t *testing.T) {
+	var parts [4]uint64
+	parts[regfile.PartFRFHigh] = 100
+	parts[regfile.PartFRFLow] = 50
+	parts[regfile.PartSRF] = 200
+	got := DynamicPJ(regfile.DesignPartitioned, parts)
+	want := 100*7.65 + 50*5.25 + 200*7.03
+	approx(t, "partitioned dynamic", got, want, 0.01)
+}
+
+// The headline leakage result: the partitioned RF saves ~39% of leakage.
+func TestLeakageSavings(t *testing.T) {
+	mrf := LeakageMW(regfile.DesignMonolithicSTV)
+	part := LeakageMW(regfile.DesignPartitioned)
+	approx(t, "MRF leakage", mrf, 33.8, 0.01)
+	approx(t, "partitioned leakage saving", Savings(part, mrf), 0.39, 0.03)
+	if LeakageMW(regfile.DesignPartitionedAdaptive) != part {
+		t.Error("adaptive design should have the same leakage structure")
+	}
+	if LeakageMW(regfile.DesignMonolithicNTV) >= mrf {
+		t.Error("NTV MRF should leak less than STV MRF")
+	}
+}
+
+func TestLeakagePJScalesWithCycles(t *testing.T) {
+	one := LeakagePJ(regfile.DesignMonolithicSTV, 900) // 900 cycles = 1000 ns
+	approx(t, "leakage over 1 us", one, 33.8*1000, 0.01)
+	if two := LeakagePJ(regfile.DesignMonolithicSTV, 1800); math.Abs(two-2*one) > 1e-6 {
+		t.Error("leakage energy not linear in cycles")
+	}
+}
+
+func TestForRunReport(t *testing.T) {
+	var parts [4]uint64
+	parts[regfile.PartMRF] = 10
+	r := ForRun(regfile.DesignMonolithicSTV, parts, 90)
+	if r.Cycles != 90 || r.Design != regfile.DesignMonolithicSTV {
+		t.Error("report metadata wrong")
+	}
+	approx(t, "report total", r.TotalPJ(), r.DynamicPJ+r.LeakagePJ, 1e-12)
+	if r.DynamicPJ <= 0 || r.LeakagePJ <= 0 {
+		t.Error("report has non-positive energies")
+	}
+}
+
+func TestRFCDynamicBreakdown(t *testing.T) {
+	st := rfc.Stats{
+		ReadHits: 100, ReadMiss: 50, Writes: 80, Fills: 50,
+		DirtyWB: 20, TagChecks: 230,
+	}
+	cfg := fincacti.RFCConfig(6, 8, 8, 2, 1)
+	b := RFCDynamic(st, cfg, finfet.NTV)
+	if b.TagPJ <= 0 || b.DataPJ <= 0 || b.MRFPJ <= 0 {
+		t.Fatalf("breakdown has empty components: %+v", b)
+	}
+	// Data accesses = 100 + 50 + 80 = 230.
+	approx(t, "data energy", b.DataPJ, 230*fincacti.RFCAccessEnergyPJ(cfg), 1e-9)
+	// MRF accesses = 50 misses + 20 writebacks at NTV.
+	approx(t, "mrf energy", b.MRFPJ, 70*fincacti.MRFConfig(finfet.NTV).AccessEnergyPJ(), 1e-9)
+	approx(t, "total", b.TotalPJ(), b.TagPJ+b.DataPJ+b.MRFPJ, 1e-12)
+}
+
+func TestBaselineDynamicPJ(t *testing.T) {
+	approx(t, "baseline", BaselineDynamicPJ(100), 100*14.9, 0.01)
+}
+
+func TestSavingsEdgeCases(t *testing.T) {
+	if Savings(50, 100) != 0.5 {
+		t.Error("Savings(50,100) != 0.5")
+	}
+	if Savings(10, 0) != 0 {
+		t.Error("Savings with zero baseline should be 0")
+	}
+	if Savings(150, 100) >= 0 {
+		t.Error("more-expensive design should report negative savings")
+	}
+}
+
+// Section V-B's comparison: the always-NTV monolithic RF saves ~47%,
+// which the partitioned RF only beats thanks to the adaptive FRF low
+// mode — without low-mode accesses the two are nearly tied.
+func TestPartitionedVsNTVOrdering(t *testing.T) {
+	var adaptive, highOnly, mrfOnly [4]uint64
+	adaptive[regfile.PartFRFHigh] = 480 // 62% FRF with 22% of it in low mode
+	adaptive[regfile.PartFRFLow] = 140
+	adaptive[regfile.PartSRF] = 380
+	highOnly[regfile.PartFRFHigh] = 620
+	highOnly[regfile.PartSRF] = 380
+	mrfOnly[regfile.PartMRF] = 1000
+	withLow := DynamicPJ(regfile.DesignPartitionedAdaptive, adaptive)
+	noLow := DynamicPJ(regfile.DesignPartitioned, highOnly)
+	ntv := DynamicPJ(regfile.DesignMonolithicNTV, mrfOnly)
+	if withLow >= ntv {
+		t.Errorf("adaptive partitioned (%.0f pJ) should beat MRF@NTV (%.0f pJ)", withLow, ntv)
+	}
+	if withLow >= noLow {
+		t.Error("low-mode accesses should reduce the partitioned energy")
+	}
+	// Without the adaptive mode the two designs are within a few percent.
+	if ratio := noLow / ntv; ratio < 0.95 || ratio > 1.10 {
+		t.Errorf("non-adaptive partitioned vs NTV ratio = %.3f, expected near parity", ratio)
+	}
+}
+
+func TestGatedLeakage(t *testing.T) {
+	full := GatedLeakageMW(regfile.DesignPartitioned, 1)
+	part := LeakageMW(regfile.DesignPartitioned)
+	// Full occupancy: gating changes nothing.
+	approx(t, "gated@1.0", full, part, 1e-9)
+	// Typical occupancy (Table I: ~16 of 63 registers): big extra saving.
+	half := GatedLeakageMW(regfile.DesignPartitioned, 0.4)
+	if half >= part {
+		t.Errorf("gating at 40%% occupancy did not save: %.2f vs %.2f", half, part)
+	}
+	// Monotone in occupancy.
+	prev := 0.0
+	for _, occ := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		v := GatedLeakageMW(regfile.DesignMonolithicSTV, occ)
+		if v <= prev {
+			t.Fatalf("gated leakage not increasing at occupancy %g", occ)
+		}
+		prev = v
+	}
+}
+
+func TestGatedLeakagePanics(t *testing.T) {
+	for _, occ := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("occupancy %g did not panic", occ)
+				}
+			}()
+			GatedLeakageMW(regfile.DesignPartitioned, occ)
+		}()
+	}
+}
+
+func TestLeakageUnknownDesignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LeakageMW(regfile.Design(99))
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import "testing"
+
+func TestFRFSizeSweepShape(t *testing.T) {
+	pts := FRFSizeSweep(testRunner())
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// FRF share grows monotonically with the partition size...
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AvgFRFShare < pts[i-1].AvgFRFShare-0.01 {
+			t.Errorf("FRF share not monotone: %d regs %.2f -> %d regs %.2f",
+				pts[i-1].FRFRegs, pts[i-1].AvgFRFShare, pts[i].FRFRegs, pts[i].AvgFRFShare)
+		}
+	}
+	// ...and the paper's design point (4) already captures most of the
+	// attainable share: the step from 4 to 8 registers is much smaller
+	// than the step from 2 to 4.
+	var p2, p4, p8 FRFSizePoint
+	for _, p := range pts {
+		switch p.FRFRegs {
+		case 2:
+			p2 = p
+		case 4:
+			p4 = p
+		case 8:
+			p8 = p
+		}
+	}
+	if gain48 := p8.AvgFRFShare - p4.AvgFRFShare; gain48 >= p4.AvgFRFShare-p2.AvgFRFShare {
+		t.Errorf("capture did not saturate: 2->4 gained %.2f, 4->8 gained %.2f",
+			p4.AvgFRFShare-p2.AvgFRFShare, gain48)
+	}
+	// Capacities: n regs x 64 warps x 128 B.
+	if p4.FRFSizeKB != 32 {
+		t.Errorf("4-register FRF = %g KB, want 32", p4.FRFSizeKB)
+	}
+	// Every point should save energy and stay within a modest slowdown.
+	for _, p := range pts {
+		if p.AvgSavings < 0.3 {
+			t.Errorf("%d regs: saving %.2f too low", p.FRFRegs, p.AvgSavings)
+		}
+		if p.GeoSlowdown > 1.15 {
+			t.Errorf("%d regs: slowdown %.3f too high", p.FRFRegs, p.GeoSlowdown)
+		}
+	}
+}
+
+func TestForwardingAblationReducesLatencySensitivity(t *testing.T) {
+	pts := ForwardingAblation(waveRunner())
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	noFwd, fwd := pts[0], pts[1]
+	if noFwd.Forwarding || !fwd.Forwarding {
+		t.Fatal("points out of order")
+	}
+	// Forwarding must reduce both overheads...
+	if fwd.GeoNTV >= noFwd.GeoNTV {
+		t.Errorf("forwarding did not reduce the NTV overhead: %.3f vs %.3f", fwd.GeoNTV, noFwd.GeoNTV)
+	}
+	if fwd.GeoHybrid >= noFwd.GeoHybrid+0.001 {
+		t.Errorf("forwarding did not reduce the partitioned overhead: %.3f vs %.3f", fwd.GeoHybrid, noFwd.GeoHybrid)
+	}
+	// ...moving the NTV overhead toward the paper's 7.1% (bank write
+	// occupancy still delays reads, so it does not get all the way).
+	if fwd.GeoNTV > 1.12 {
+		t.Errorf("NTV overhead with forwarding = %.3f, want reduced toward the paper's 1.071", fwd.GeoNTV)
+	}
+}
+
+func TestScorecardCalibratedAllPass(t *testing.T) {
+	rows := Scorecard(waveRunner())
+	if len(rows) < 18 {
+		t.Fatalf("scorecard has %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if row.Kind == Calibrated && !row.Pass {
+			t.Errorf("calibrated anchor missed: %s", row)
+		}
+	}
+	// The measured rows are the shape targets; the large majority must
+	// land inside their (already generous) bands.
+	var measured, pass int
+	for _, row := range rows {
+		if row.Kind != Measured {
+			continue
+		}
+		measured++
+		if row.Pass {
+			pass++
+		}
+	}
+	if pass < measured-2 {
+		t.Errorf("only %d/%d measured rows within tolerance:\n%s", pass, measured, ScorecardText(rows))
+	}
+}
+
+func TestPilotChoiceInsensitive(t *testing.T) {
+	pts := PilotChoiceSensitivity(testRunner())
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	lo, hi := pts[0].AvgFRFShare, pts[0].AvgFRFShare
+	for _, p := range pts {
+		if p.AvgFRFShare < lo {
+			lo = p.AvgFRFShare
+		}
+		if p.AvgFRFShare > hi {
+			hi = p.AvgFRFShare
+		}
+	}
+	if hi-lo > 0.03 {
+		t.Errorf("pilot choice swings FRF capture by %.3f; the paper says any warp works", hi-lo)
+	}
+}
+
+func TestRegisterGatingExtension(t *testing.T) {
+	rows := RegisterGatingExtension(testRunner())
+	if len(rows) != 17 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Occupancy <= 0 || r.Occupancy > 1 {
+			t.Errorf("%s: occupancy %.2f out of range", r.Benchmark, r.Occupancy)
+		}
+		if r.GatedMW >= r.PartitionedMW {
+			t.Errorf("%s: gating did not reduce leakage (%.2f vs %.2f)", r.Benchmark, r.GatedMW, r.PartitionedMW)
+		}
+		if r.GatedSavings <= r.SavingsPct {
+			t.Errorf("%s: gated savings %.1f%% not above partitioned %.1f%%", r.Benchmark, r.GatedSavings, r.SavingsPct)
+		}
+	}
+}
+
+func TestProfilingTechniqueAblation(t *testing.T) {
+	rows := ProfilingTechniqueAblation(testRunner())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]TechniqueEnergyRow{}
+	for _, r := range rows {
+		byName[r.Technique] = r
+	}
+	// Hybrid captures at least as much as every other technique.
+	hybrid := byName["hybrid"]
+	for name, r := range byName {
+		if r.AvgFRFShare > hybrid.AvgFRFShare+0.03 {
+			t.Errorf("%s FRF share %.2f beats hybrid %.2f", name, r.AvgFRFShare, hybrid.AvgFRFShare)
+		}
+	}
+	// Static-first-N is the weakest capture.
+	if byName["static-first-n"].AvgFRFShare >= byName["pilot"].AvgFRFShare {
+		t.Error("static-first-n should capture less than pilot profiling")
+	}
+}

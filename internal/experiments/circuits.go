@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"pilotrf/internal/fincacti"
+	"pilotrf/internal/finfet"
+)
+
+// Figure1 reproduces Figure 1: the delay of a 40-stage FO4 inverter chain
+// versus supply voltage for the calibrated 7 nm FinFET device.
+func Figure1() []finfet.Figure1Point {
+	return finfet.Default7nm().Figure1Sweep()
+}
+
+// Table3 reproduces Table III: the three 8T SRAM operating points.
+func Table3() []finfet.Table3Row {
+	return finfet.Table3(finfet.Default7nm())
+}
+
+// Table4 reproduces Table IV: size, access energy, and leakage power of
+// the partitions and the MRF baseline.
+func Table4() []fincacti.Table4Row {
+	return fincacti.Table4()
+}
+
+// YieldRow is one cell design's Monte Carlo yield at an operating point.
+type YieldRow struct {
+	Cell  finfet.CellType
+	Vdd   float64
+	Yield float64
+	MeanV float64
+}
+
+// SRAMYieldStudy reproduces the Section IV-A yield analysis: 6T/8T/9T/10T
+// cells sampled under threshold-voltage variation at STV and NTV.
+func SRAMYieldStudy(samples int, seed uint64) []YieldRow {
+	var rows []YieldRow
+	for _, vdd := range []float64{finfet.STV, finfet.NTV} {
+		for _, ct := range []finfet.CellType{finfet.Cell6T, finfet.Cell8T, finfet.Cell9T, finfet.Cell10T} {
+			y := finfet.MonteCarloYield(finfet.Cell{Type: ct}, vdd, finfet.BackGateOn, samples, seed)
+			rows = append(rows, YieldRow{Cell: ct, Vdd: vdd, Yield: y.Yield, MeanV: y.MeanSNM})
+		}
+	}
+	return rows
+}
+
+// PortScalingRow is one RFC porting configuration's energy relative to an
+// MRF access (Section V-D).
+type PortScalingRow struct {
+	ReadPorts, WritePorts int
+	RelativeToMRF         float64
+}
+
+// RFCPortScaling reproduces the Section V-D port study: the 6-entry RFC
+// at (R2,W1) costs 0.37x an MRF access; at (R8,W4) it costs 3x.
+func RFCPortScaling() []PortScalingRow {
+	mrf := fincacti.MRFConfig(finfet.STV).AccessEnergyPJ()
+	var rows []PortScalingRow
+	for _, p := range []struct{ r, w int }{{2, 1}, {4, 2}, {8, 4}} {
+		cfg := fincacti.RFCConfig(6, 8, 8, p.r, p.w)
+		rows = append(rows, PortScalingRow{
+			ReadPorts: p.r, WritePorts: p.w,
+			RelativeToMRF: fincacti.RFCAccessEnergyPJ(cfg) / mrf,
+		})
+	}
+	return rows
+}
+
+// BankedRFCEnergyRelative returns the Section V-D datapoint that an
+// 8-banked, crossbar-connected RFC costs about as much per access as the
+// MRF itself.
+func BankedRFCEnergyRelative() float64 {
+	cfg := fincacti.RFCConfig(6, 8, 8, 2, 1)
+	return fincacti.RFCBankedCrossbarEnergyPJ(cfg) / fincacti.MRFConfig(finfet.STV).AccessEnergyPJ()
+}
+
+// SwapTableRow is the swapping table delay in one technology.
+type SwapTableRow struct {
+	Tech    fincacti.SwapTableTech
+	DelayPS float64
+	// CycleFraction is the delay as a fraction of the 900 MHz cycle;
+	// the paper requires < 10%.
+	CycleFraction float64
+}
+
+// SwapTableDelays reproduces the Section III-B RTL evaluation of the
+// 8-entry swapping table at 22 nm CMOS, 16 nm CMOS, and 7 nm FinFET.
+func SwapTableDelays() []SwapTableRow {
+	const cyclePS = 1000 / 0.9 // 900 MHz
+	var rows []SwapTableRow
+	for _, tech := range []fincacti.SwapTableTech{fincacti.Tech22nmCMOS, fincacti.Tech16nmCMOS, fincacti.Tech7nmFinFET} {
+		d := fincacti.SwapTableDelayPS(tech, 8)
+		rows = append(rows, SwapTableRow{Tech: tech, DelayPS: d, CycleFraction: d / cyclePS})
+	}
+	return rows
+}
+
+// VoltagePoint is one supply point in the RF voltage sweep.
+type VoltagePoint struct {
+	Vdd float64
+	// AccessEnergyPJ and LeakageMW for a 256 KB MRF at this supply.
+	AccessEnergyPJ float64
+	LeakageMW      float64
+	// AccessCycles is the latency in SM cycles (the cost side).
+	AccessCycles int
+	// DelayRatio is the FO4 delay relative to STV.
+	DelayRatio float64
+}
+
+// VoltageSweep is an extension study: the energy/latency tradeoff of
+// operating the whole RF at each supply voltage, which is the design
+// space behind the paper's choice of 0.3 V as NTV — below it the delay
+// blows up super-linearly while the energy gains flatten.
+func VoltageSweep() []VoltagePoint {
+	d := finfet.Default7nm()
+	stvDelay := d.FO4Delay(finfet.STV, finfet.BackGateOn)
+	var pts []VoltagePoint
+	for mv := 250; mv <= 450; mv += 25 {
+		v := float64(mv) / 1000
+		cfg := fincacti.MRFConfig(v)
+		pts = append(pts, VoltagePoint{
+			Vdd:            v,
+			AccessEnergyPJ: cfg.AccessEnergyPJ(),
+			LeakageMW:      cfg.LeakagePowerMW(),
+			AccessCycles:   cfg.AccessCycles(),
+			DelayRatio:     d.FO4Delay(v, finfet.BackGateOn) / stvDelay,
+		})
+	}
+	return pts
+}
+
+// AreaReport summarizes the Section V-A area analysis.
+type AreaReport struct {
+	BaselineMM2 float64
+	ProposedMM2 float64
+	OverheadPct float64
+}
+
+// Area reproduces the area comparison: 0.2 mm^2 baseline vs 0.214 mm^2
+// proposed (< 10% overhead).
+func Area() AreaReport {
+	base := fincacti.MRFConfig(finfet.STV).AreaMM2()
+	prop := fincacti.FRFConfig(fincacti.ModeNormal).AreaMM2() + fincacti.SRFConfig().AreaMM2()
+	return AreaReport{
+		BaselineMM2: base,
+		ProposedMM2: prop,
+		OverheadPct: (prop/base - 1) * 100,
+	}
+}

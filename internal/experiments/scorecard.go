@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pilotrf/internal/finfet"
+)
+
+// ScoreKind classifies how a paper value is reproduced.
+type ScoreKind uint8
+
+// Score kinds.
+const (
+	// Calibrated values are model anchors: the circuit models were fit
+	// to them, and they must match tightly.
+	Calibrated ScoreKind = iota
+	// Measured values come out of the simulator; the reproduction
+	// target is the shape, so tolerances are loose and recorded.
+	Measured
+)
+
+// String returns the kind name.
+func (k ScoreKind) String() string {
+	if k == Calibrated {
+		return "calibrated"
+	}
+	return "measured"
+}
+
+// ScoreRow is one paper-vs-measured comparison.
+type ScoreRow struct {
+	ID          string
+	Description string
+	Kind        ScoreKind
+	Paper       float64
+	Got         float64
+	// RelTol is the acceptance band (relative); Pass reports whether
+	// Got landed inside it.
+	RelTol float64
+	Pass   bool
+}
+
+// String renders the row as one scorecard line.
+func (r ScoreRow) String() string {
+	mark := "PASS"
+	if !r.Pass {
+		mark = "MISS"
+	}
+	return fmt.Sprintf("%-4s %-28s %-10s paper=%-10.4g got=%-10.4g (±%.0f%%) %s",
+		mark, r.ID, r.Kind, r.Paper, r.Got, r.RelTol*100, r.Description)
+}
+
+// Scorecard evaluates the full set of headline numbers the paper reports
+// against this reproduction. It is the one-glance answer to "how close is
+// the reproduction?" — cmd/experiments prints it with -only scorecard.
+func Scorecard(r *Runner) []ScoreRow {
+	d := finfet.Default7nm()
+	t4 := Table4()
+	fig2 := Figure2(r)
+	fig10 := Figure10(r)
+	fig11 := Figure11(r)
+	fig12 := Figure12(r)
+	leak := Leakage()
+	ports := RFCPortScaling()
+	area := Area()
+
+	rows := []ScoreRow{
+		// Circuit-level anchors (tight).
+		{ID: "fig1.delay-ratio", Description: "FO4 chain delay NTV:STV", Kind: Calibrated,
+			Paper: 3.0, Got: d.DelayRatioNTV(), RelTol: 0.02},
+		{ID: "table3.ion-ntv", Description: "8T I_on at NTV (A/um)", Kind: Calibrated,
+			Paper: 7.505e-4, Got: d.IOn(finfet.NTV, finfet.BackGateOn), RelTol: 0.01},
+		{ID: "table3.snm-stv", Description: "8T SNM at STV (V)", Kind: Calibrated,
+			Paper: 0.144, Got: finfet.Cell{Type: finfet.Cell8T}.SNM(finfet.STV, finfet.BackGateOn), RelTol: 0.01},
+		{ID: "table4.mrf-pj", Description: "MRF access energy (pJ)", Kind: Calibrated,
+			Paper: 14.9, Got: t4[3].AccessEnergyPJ, RelTol: 0.01},
+		{ID: "table4.srf-pj", Description: "SRF access energy (pJ)", Kind: Calibrated,
+			Paper: 7.03, Got: t4[2].AccessEnergyPJ, RelTol: 0.01},
+		{ID: "table4.frfhigh-pj", Description: "FRF_high access energy (pJ)", Kind: Calibrated,
+			Paper: 7.65, Got: t4[1].AccessEnergyPJ, RelTol: 0.01},
+		{ID: "table4.frflow-pj", Description: "FRF_low access energy (pJ)", Kind: Calibrated,
+			Paper: 5.25, Got: t4[0].AccessEnergyPJ, RelTol: 0.01},
+		{ID: "table4.mrf-leak", Description: "MRF leakage (mW)", Kind: Calibrated,
+			Paper: 33.8, Got: t4[3].LeakageMW, RelTol: 0.01},
+		{ID: "leakage.savings", Description: "RF leakage saving (%)", Kind: Calibrated,
+			Paper: 39, Got: leak.SavingsPct, RelTol: 0.03},
+		{ID: "area.proposed", Description: "proposed RF area (mm^2)", Kind: Calibrated,
+			Paper: 0.214, Got: area.ProposedMM2, RelTol: 0.01},
+		{ID: "rfc.port-small", Description: "RFC (R2,W1) vs MRF energy", Kind: Calibrated,
+			Paper: 0.37, Got: ports[0].RelativeToMRF, RelTol: 0.01},
+		{ID: "rfc.port-big", Description: "RFC (R8,W4) vs MRF energy", Kind: Calibrated,
+			Paper: 3.0, Got: ports[2].RelativeToMRF, RelTol: 0.02},
+
+		// Architecture-level measurements (shape: loose bands).
+		{ID: "fig2.top3", Description: "avg accesses to top-3 regs", Kind: Measured,
+			Paper: 0.62, Got: fig2.Avg3, RelTol: 0.15},
+		{ID: "fig2.top4", Description: "avg accesses to top-4 regs", Kind: Measured,
+			Paper: 0.72, Got: fig2.Avg4, RelTol: 0.15},
+		{ID: "fig2.top5", Description: "avg accesses to top-5 regs", Kind: Measured,
+			Paper: 0.77, Got: fig2.Avg5, RelTol: 0.15},
+		{ID: "fig10.frf-share", Description: "accesses served by the FRF", Kind: Measured,
+			Paper: 0.62, Got: fig10.AvgFRF, RelTol: 0.30},
+		{ID: "fig10.low-share", Description: "FRF accesses in low mode", Kind: Measured,
+			Paper: 0.22, Got: fig10.AvgLowShareOfFRF, RelTol: 0.40},
+		{ID: "fig11.savings", Description: "dynamic energy saving", Kind: Measured,
+			Paper: 0.54, Got: res11Savings(fig11), RelTol: 0.15},
+		{ID: "fig11.ntv-savings", Description: "always-NTV dynamic saving", Kind: Measured,
+			Paper: 0.47, Got: fig11.AvgSavingsNTV, RelTol: 0.15},
+		{ID: "fig12.overhead", Description: "proposed slowdown (x)", Kind: Measured,
+			Paper: 1.02, Got: fig12.GeoHybridGTO, RelTol: 0.03},
+		{ID: "fig12.ntv-overhead", Description: "always-NTV slowdown (x)", Kind: Measured,
+			Paper: 1.071, Got: fig12.GeoNTVGTO, RelTol: 0.08},
+	}
+	for i := range rows {
+		rows[i].Pass = withinTol(rows[i].Got, rows[i].Paper, rows[i].RelTol)
+	}
+	return rows
+}
+
+func res11Savings(f Figure11Result) float64 { return f.AvgSavingsAdaptive }
+
+func withinTol(got, want, tol float64) bool {
+	if want == 0 {
+		return math.Abs(got) <= tol
+	}
+	return math.Abs(got-want)/math.Abs(want) <= tol
+}
+
+// ScorecardText renders the scorecard with a summary line.
+func ScorecardText(rows []ScoreRow) string {
+	var b strings.Builder
+	pass := 0
+	for _, r := range rows {
+		fmt.Fprintln(&b, " ", r)
+		if r.Pass {
+			pass++
+		}
+	}
+	fmt.Fprintf(&b, "  %d/%d within tolerance\n", pass, len(rows))
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"pilotrf/internal/workloads"
+)
+
+// TestWarmParallelMatchesSequential verifies that the concurrent cache
+// warm-up yields byte-identical results to sequential execution — the
+// simulator is deterministic and runs are independent, so parallelism
+// must be invisible in the numbers.
+func TestWarmParallelMatchesSequential(t *testing.T) {
+	seq := NewRunner(0.05, 1)
+	par := NewRunner(0.05, 1)
+	par.Warm()
+	for _, name := range []string{"WP", "CP", "srad"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := seq.hybridRun(w)
+		b := par.hybridRun(w)
+		if a.TotalCycles() != b.TotalCycles() || a.TotalAccesses() != b.TotalAccesses() {
+			t.Errorf("%s: parallel warm diverged from sequential (%d/%d vs %d/%d)",
+				name, a.TotalCycles(), a.TotalAccesses(), b.TotalCycles(), b.TotalAccesses())
+		}
+		if a.PartAccesses() != b.PartAccesses() {
+			t.Errorf("%s: partition counts diverged", name)
+		}
+	}
+}
+
+// TestRunConcurrentDuplicates hammers one key from many goroutines; the
+// in-flight deduplication must produce one simulation and identical
+// results for every caller.
+func TestRunConcurrentDuplicates(t *testing.T) {
+	r := NewRunner(0.05, 1)
+	w, err := workloads.ByName("WP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 16
+	results := make([]int64, callers)
+	done := make(chan int, callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			rs := r.run(w, r.baseConfig(), "dup-test")
+			results[i] = rs.TotalCycles()
+			done <- i
+		}(i)
+	}
+	for i := 0; i < callers; i++ {
+		<-done
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw different cycles: %d vs %d", i, results[i], results[0])
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package fincacti is a reduced-form re-implementation of the FinCACTI
+// array model the paper uses to characterize register file partitions:
+// per-access dynamic energy, leakage power, access time/cycles, and area,
+// as functions of array size, banking, porting, supply voltage, and the
+// FinFET back-gate mode.
+//
+// FinCACTI itself is a full CACTI derivative; here the decoder/wordline/
+// bitline/sense stack is collapsed into power-law terms in bank size,
+// supply voltage, and port count whose exponents are calibrated from the
+// paper's own reported datapoints:
+//
+//   - Table IV: MRF 256KB@STV = 14.9 pJ / 33.8 mW, SRF 224KB@NTV =
+//     7.03 pJ / 13.4 mW, FRF 32KB = 7.65 pJ (high) / 5.25 pJ (low) /
+//     7.28 mW.
+//   - Section V-D: a 6-register/warp RFC with (R2,W1) ports costs 0.37x
+//     an MRF access; scaling to (R8,W4) costs 3x.
+//   - Section III-B: swapping-table delay 105/95/55 ps at 22 nm CMOS,
+//     16 nm CMOS, and 7 nm FinFET.
+//   - Section V-A: baseline RF area 0.2 mm^2, proposed RF 0.214 mm^2.
+//
+// Voltage behaviour (delay blow-up at NTV, leakage ratio) is taken from
+// the finfet device model rather than re-fit, so the two layers stay
+// consistent.
+package fincacti
+
+import (
+	"fmt"
+	"math"
+
+	"pilotrf/internal/finfet"
+)
+
+// Mode is the array's dynamic operating mode.
+type Mode uint8
+
+// Operating modes. ModeLowCap is the FRF's back-gate-disabled low-power
+// mode: half the cell gate capacitance, slower cell read path.
+const (
+	ModeNormal Mode = iota
+	ModeLowCap
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ModeLowCap {
+		return "low"
+	}
+	return "high"
+}
+
+// CycleBudgetNS is the register-file pipeline stage budget in nanoseconds.
+// The SM runs at 900 MHz (1.11 ns cycle); the RF read occupies a 0.17 ns
+// slice of the operand-collection stage. An access that exceeds one budget
+// occupies the bank for multiple cycles.
+const CycleBudgetNS = 0.17
+
+// Calibrated model constants. See the package comment for the anchors.
+const (
+	// refAccessPJ is the per-access energy of the reference array: one
+	// 10.667 KB bank (256 KB / 24 banks) at STV with 1R+1W ports.
+	refAccessPJ = 14.9
+	// refBankKB is the reference bank size.
+	refBankKB = 256.0 / 24.0
+	// sizeExp is the bank-size exponent of dynamic energy.
+	sizeExp = 0.320596
+	// voltExp is the supply-voltage exponent of dynamic energy
+	// (between V and V^2: part of the swing does not scale).
+	voltExp = 1.747043
+	// lowCapFactor is the dynamic-energy reduction in ModeLowCap.
+	lowCapFactor = 0.686275
+	// portExp is the port-count exponent of dynamic energy (and area),
+	// relative to the 1R+1W reference.
+	portExp = 1.509700
+	// rfcCal absorbs the RFC's small-array optimizations (shared tag,
+	// flip-flop based entries), anchored at the 0.37x datapoint.
+	rfcCal = 0.46995
+	// leakPerKBmW and leakPerBankMW are the STV leakage of cells and
+	// per-bank periphery.
+	leakPerKBmW   = 0.131934
+	leakPerBankMW = 0.0010376
+	// bgNetworkLeakMW is the leakage of the FRF's back-gate drive
+	// network and mode-signal buffers (Figure 9).
+	bgNetworkLeakMW = 3.0332
+	// refAccessNS is the access time of a 1.333 KB bank (the FRF bank)
+	// at STV in normal mode.
+	refAccessNS = 0.08
+	// delaySizeExp is the bank-size exponent of access time.
+	delaySizeExp = 0.35
+	// delayBankKB is the bank size anchoring refAccessNS.
+	delayBankKB = 32.0 / 24.0
+	// cellPathFrac is the fraction of the access path inside the cell
+	// array, the only part slowed by the back-gate-off mode.
+	cellPathFrac = 0.25
+	// crossbarPJPerBank is the per-bank cost of a full crossbar that
+	// lets a banked RFC serve all requests in one cycle (Section V-D).
+	crossbarPJPerBank = 1.173
+	// tagFactor scales the RFC tag-check energy relative to an RFC
+	// data access.
+	tagFactor = 0.15
+)
+
+// RFConfig describes one register file array (or partition).
+type RFConfig struct {
+	// SizeKB is the total capacity in kilobytes.
+	SizeKB float64
+	// Banks is the number of independently accessible banks.
+	Banks int
+	// ReadPorts and WritePorts are per-bank port counts.
+	ReadPorts, WritePorts int
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// Mode selects the back-gate state of the cell array.
+	Mode Mode
+	// BackGateNetwork marks arrays wired for dual-mode operation (the
+	// FRF): they pay the mode-buffer leakage overhead.
+	BackGateNetwork bool
+	// Device is the transistor model; nil selects the default 7 nm
+	// FinFET.
+	Device *finfet.Device
+}
+
+func (c RFConfig) device() *finfet.Device {
+	if c.Device != nil {
+		return c.Device
+	}
+	return defaultDevice
+}
+
+var defaultDevice = finfet.Default7nm()
+
+func (c RFConfig) validate() {
+	if c.SizeKB <= 0 || c.Banks <= 0 {
+		panic(fmt.Sprintf("fincacti: invalid array %v KB / %d banks", c.SizeKB, c.Banks))
+	}
+	if c.ReadPorts < 0 || c.WritePorts < 0 {
+		panic("fincacti: negative port count")
+	}
+	if c.Vdd <= 0 {
+		panic("fincacti: non-positive Vdd")
+	}
+}
+
+// BankKB returns the capacity of one bank.
+func (c RFConfig) BankKB() float64 { return c.SizeKB / float64(c.Banks) }
+
+func (c RFConfig) portFactor() float64 {
+	ports := c.ReadPorts + c.WritePorts
+	if ports == 0 {
+		ports = 2 // default 1R+1W
+	}
+	return math.Pow(float64(ports)/2, portExp)
+}
+
+// AccessEnergyPJ returns the dynamic energy of one bank access in
+// picojoules.
+func (c RFConfig) AccessEnergyPJ() float64 {
+	c.validate()
+	e := refAccessPJ *
+		math.Pow(c.BankKB()/refBankKB, sizeExp) *
+		math.Pow(c.Vdd/finfet.STV, voltExp) *
+		c.portFactor()
+	if c.Mode == ModeLowCap {
+		e *= lowCapFactor
+	}
+	return e
+}
+
+// LeakagePowerMW returns the total leakage power of the array in
+// milliwatts. Leakage does not depend on the dynamic mode (the paper's
+// Table IV lists 7.28 mW for both FRF modes) but arrays wired for
+// dual-mode operation leak extra in the back-gate drive network.
+func (c RFConfig) LeakagePowerMW() float64 {
+	cells, periph := c.LeakageBreakdownMW()
+	return cells + periph
+}
+
+// LeakageBreakdownMW splits leakage into the cell array (which
+// register-gating techniques can switch off row by row) and the
+// periphery (decoders, per-bank logic, and — for dual-mode arrays — the
+// back-gate drive network), which stays on.
+func (c RFConfig) LeakageBreakdownMW() (cells, periphery float64) {
+	c.validate()
+	d := c.device()
+	ratio := (c.Vdd * d.IOff(c.Vdd, finfet.BackGateOn)) /
+		(finfet.STV * d.IOff(finfet.STV, finfet.BackGateOn))
+	cells = leakPerKBmW * c.SizeKB * ratio
+	periphery = leakPerBankMW * float64(c.Banks) * ratio
+	if c.BackGateNetwork {
+		periphery += bgNetworkLeakMW * (c.SizeKB / 32.0)
+	}
+	return cells, periphery
+}
+
+// AccessTimeNS returns the bank access time in nanoseconds. Voltage
+// scaling follows the device FO4 delay; in ModeLowCap only the cell-array
+// fraction of the path is slowed (decoder and sensing stay at full drive)
+// while its capacitance halves — netting the moderate penalty that makes
+// the 2-cycle FRF_low worthwhile.
+func (c RFConfig) AccessTimeNS() float64 {
+	c.validate()
+	d := c.device()
+	base := refAccessNS * math.Pow(c.BankKB()/delayBankKB, delaySizeExp)
+	voltFactor := d.FO4Delay(c.Vdd, finfet.BackGateOn) / d.FO4Delay(finfet.STV, finfet.BackGateOn)
+	modeFactor := 1.0
+	if c.Mode == ModeLowCap {
+		cellPenalty := d.FO4Delay(c.Vdd, finfet.BackGateOff) / d.FO4Delay(c.Vdd, finfet.BackGateOn)
+		modeFactor = (1 - cellPathFrac) + cellPathFrac*cellPenalty
+	}
+	return base * voltFactor * modeFactor
+}
+
+// AccessCycles returns the number of SM cycles a bank is occupied per
+// access: the access time divided into CycleBudgetNS slices.
+func (c RFConfig) AccessCycles() int {
+	return int(math.Ceil(c.AccessTimeNS() / CycleBudgetNS))
+}
+
+// Area model constants, calibrated to the paper's 0.2 mm^2 baseline RF and
+// 0.214 mm^2 proposed RF (Section V-A).
+const (
+	cellAreaF2   = 150.0    // 8T cell
+	featureNM    = 7.0      // F
+	areaOverhead = 12.97356 // operand-collector wiring, multi-bank periphery
+	// bgWiringMM2PerKB is the back-gate routing + mode-buffer area per
+	// KB of dual-mode array.
+	bgWiringMM2PerKB = 0.014 / 32.0
+)
+
+// AreaMM2 returns the layout area of the array in mm^2.
+func (c RFConfig) AreaMM2() float64 {
+	c.validate()
+	bits := c.SizeKB * 1024 * 8
+	// 1 mm^2 = 1e12 nm^2.
+	cellMM2 := cellAreaF2 * featureNM * featureNM / 1e12
+	a := bits * cellMM2 * areaOverhead * c.portFactor()
+	if c.BackGateNetwork {
+		a += bgWiringMM2PerKB * c.SizeKB
+	}
+	return a
+}
+
+// Standard partition configurations from the paper (Kepler: 256 KB RF in
+// 24 banks, 4 registers/warp x 64 warps x 128 bytes = 32 KB FRF).
+
+// MRFConfig returns the monolithic 256 KB register file at the given
+// supply voltage.
+func MRFConfig(vdd float64) RFConfig {
+	return RFConfig{SizeKB: 256, Banks: 24, ReadPorts: 1, WritePorts: 1, Vdd: vdd}
+}
+
+// FRFConfig returns the 32 KB fast partition (STV, dual-mode wiring).
+func FRFConfig(mode Mode) RFConfig {
+	return RFConfig{SizeKB: 32, Banks: 24, ReadPorts: 1, WritePorts: 1, Vdd: finfet.STV, Mode: mode, BackGateNetwork: true}
+}
+
+// SRFConfig returns the 224 KB slow partition (NTV).
+func SRFConfig() RFConfig {
+	return RFConfig{SizeKB: 224, Banks: 24, ReadPorts: 1, WritePorts: 1, Vdd: finfet.NTV}
+}
+
+// RFCConfig returns a register file cache holding entriesPerWarp registers
+// for activeWarps warps (128 bytes per register), with the given banking
+// and per-bank ports, backed by an MRF at mrfVdd.
+func RFCConfig(entriesPerWarp, activeWarps, banks, readPorts, writePorts int) RFConfig {
+	sizeKB := float64(entriesPerWarp*activeWarps*128) / 1024
+	return RFConfig{
+		SizeKB: sizeKB, Banks: banks,
+		ReadPorts: readPorts, WritePorts: writePorts,
+		Vdd: finfet.STV,
+	}
+}
+
+// RFCAccessEnergyPJ returns the RFC data-access energy, including the
+// small-array calibration factor.
+func RFCAccessEnergyPJ(c RFConfig) float64 {
+	return rfcCal * c.AccessEnergyPJ()
+}
+
+// RFCTagEnergyPJ returns the energy of one RFC tag check.
+func RFCTagEnergyPJ(c RFConfig) float64 {
+	return tagFactor * RFCAccessEnergyPJ(c)
+}
+
+// RFCBankedCrossbarEnergyPJ returns the access energy of a banked RFC
+// with a full crossbar sized to serve every bank concurrently — the
+// Section V-D result that an 8-banked RFC costs about as much per access
+// as the MRF itself.
+func RFCBankedCrossbarEnergyPJ(c RFConfig) float64 {
+	return RFCAccessEnergyPJ(c) + crossbarPJPerBank*float64(c.Banks)
+}
+
+// Table4Row is one row of the paper's Table IV.
+type Table4Row struct {
+	Name           string
+	AccessEnergyPJ float64
+	LeakageMW      float64
+	SizeKB         float64
+	AccessCycles   int
+}
+
+// Table4 reproduces Table IV: the size, access energy, and leakage power
+// of the partitions and the power-aggressive MRF baseline.
+func Table4() []Table4Row {
+	frfLow, frfHigh, srf, mrf := FRFConfig(ModeLowCap), FRFConfig(ModeNormal), SRFConfig(), MRFConfig(finfet.STV)
+	return []Table4Row{
+		{"FRF_low", frfLow.AccessEnergyPJ(), frfLow.LeakagePowerMW(), frfLow.SizeKB, frfLow.AccessCycles()},
+		{"FRF_high", frfHigh.AccessEnergyPJ(), frfHigh.LeakagePowerMW(), frfHigh.SizeKB, frfHigh.AccessCycles()},
+		{"SRF", srf.AccessEnergyPJ(), srf.LeakagePowerMW(), srf.SizeKB, srf.AccessCycles()},
+		{"MRF", mrf.AccessEnergyPJ(), mrf.LeakagePowerMW(), mrf.SizeKB, mrf.AccessCycles()},
+	}
+}
+
+// SwapTableTech identifies the implementation technology of the register
+// swapping table.
+type SwapTableTech uint8
+
+// Technologies the paper evaluated the swapping table RTL in.
+const (
+	Tech22nmCMOS SwapTableTech = iota
+	Tech16nmCMOS
+	Tech7nmFinFET
+)
+
+// String returns the technology name.
+func (t SwapTableTech) String() string {
+	switch t {
+	case Tech22nmCMOS:
+		return "22nm CMOS"
+	case Tech16nmCMOS:
+		return "16nm CMOS"
+	case Tech7nmFinFET:
+		return "7nm FinFET"
+	default:
+		return fmt.Sprintf("TECH_%d", uint8(t))
+	}
+}
+
+var swapTableBasePS = map[SwapTableTech]float64{
+	Tech22nmCMOS:  105,
+	Tech16nmCMOS:  95,
+	Tech7nmFinFET: 55,
+}
+
+// SwapTableDelayPS returns the CAM search delay of a register swapping
+// table with the given entry count, in picoseconds. The paper's RTL
+// numbers (105/95/55 ps) are for the 8-entry table (top-4 registers).
+func SwapTableDelayPS(tech SwapTableTech, entries int) float64 {
+	if entries <= 0 {
+		panic(fmt.Sprintf("fincacti: swap table with %d entries", entries))
+	}
+	base, ok := swapTableBasePS[tech]
+	if !ok {
+		panic(fmt.Sprintf("fincacti: unknown technology %d", uint8(tech)))
+	}
+	return base * (0.5 + 0.5*math.Log2(float64(entries))/3)
+}

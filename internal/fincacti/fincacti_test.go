@@ -1,0 +1,246 @@
+package fincacti
+
+import (
+	"math"
+	"testing"
+
+	"pilotrf/internal/finfet"
+)
+
+func approx(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %g, want %g (±%.1f%%)", name, got, want, relTol*100)
+	}
+}
+
+// Table IV dynamic-energy anchors.
+func TestTable4AccessEnergies(t *testing.T) {
+	approx(t, "MRF access", MRFConfig(finfet.STV).AccessEnergyPJ(), 14.9, 0.01)
+	approx(t, "SRF access", SRFConfig().AccessEnergyPJ(), 7.03, 0.01)
+	approx(t, "FRF_high access", FRFConfig(ModeNormal).AccessEnergyPJ(), 7.65, 0.01)
+	approx(t, "FRF_low access", FRFConfig(ModeLowCap).AccessEnergyPJ(), 5.25, 0.01)
+}
+
+// Table IV leakage anchors, and the text's percentages: FRF = 21.5% and
+// SRF = 39.7% of the MRF leakage; together 39% savings.
+func TestTable4Leakage(t *testing.T) {
+	mrf := MRFConfig(finfet.STV).LeakagePowerMW()
+	srf := SRFConfig().LeakagePowerMW()
+	frf := FRFConfig(ModeNormal).LeakagePowerMW()
+	approx(t, "MRF leakage", mrf, 33.8, 0.01)
+	approx(t, "SRF leakage", srf, 13.4, 0.01)
+	approx(t, "FRF leakage", frf, 7.28, 0.01)
+	approx(t, "FRF share", frf/mrf, 0.215, 0.02)
+	approx(t, "SRF share", srf/mrf, 0.397, 0.02)
+	savings := 1 - (frf+srf)/mrf
+	approx(t, "leakage savings", savings, 0.39, 0.03)
+}
+
+// FRF leakage must not depend on the dynamic mode (Table IV lists the
+// same 7.28 mW for both rows).
+func TestFRFLeakageModeIndependent(t *testing.T) {
+	if FRFConfig(ModeLowCap).LeakagePowerMW() != FRFConfig(ModeNormal).LeakagePowerMW() {
+		t.Error("FRF leakage differs between modes")
+	}
+}
+
+// Access cycle assignments from the paper: FRF_high 1, FRF_low 2, SRF 3,
+// MRF@STV 1, MRF@NTV 3.
+func TestAccessCycles(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  RFConfig
+		want int
+	}{
+		{"FRF_high", FRFConfig(ModeNormal), 1},
+		{"FRF_low", FRFConfig(ModeLowCap), 2},
+		{"SRF", SRFConfig(), 3},
+		{"MRF@STV", MRFConfig(finfet.STV), 1},
+		{"MRF@NTV", MRFConfig(finfet.NTV), 3},
+	}
+	for _, c := range cases {
+		if got := c.cfg.AccessCycles(); got != c.want {
+			t.Errorf("%s cycles = %d (%.3f ns), want %d", c.name, got, c.cfg.AccessTimeNS(), c.want)
+		}
+	}
+}
+
+// The FRF_high access time reported in Section V-B is 0.08 ns.
+func TestFRFAccessTime(t *testing.T) {
+	approx(t, "FRF_high access time", FRFConfig(ModeNormal).AccessTimeNS(), 0.08, 0.01)
+}
+
+// RFC energy anchors from Section V-D: (R2,W1) = 0.37x MRF,
+// (R8,W4) = 3x MRF.
+func TestRFCPortScalingAnchors(t *testing.T) {
+	mrf := MRFConfig(finfet.STV).AccessEnergyPJ()
+	small := RFCConfig(6, 8, 8, 2, 1)
+	big := RFCConfig(6, 8, 8, 8, 4)
+	approx(t, "RFC (R2,W1) vs MRF", RFCAccessEnergyPJ(small)/mrf, 0.37, 0.01)
+	approx(t, "RFC (R8,W4) vs MRF", RFCAccessEnergyPJ(big)/mrf, 3.0, 0.01)
+}
+
+// Section V-D: an 8-banked RFC with a full crossbar costs about as much
+// per access as an MRF access.
+func TestRFCBankedCrossbarNearMRF(t *testing.T) {
+	mrf := MRFConfig(finfet.STV).AccessEnergyPJ()
+	rfc := RFCConfig(6, 8, 8, 2, 1)
+	approx(t, "8-banked crossbar RFC vs MRF", RFCBankedCrossbarEnergyPJ(rfc)/mrf, 1.0, 0.05)
+}
+
+func TestRFCTagCheaperThanData(t *testing.T) {
+	rfc := RFCConfig(6, 8, 8, 2, 1)
+	if RFCTagEnergyPJ(rfc) >= RFCAccessEnergyPJ(rfc) {
+		t.Error("tag check should be cheaper than a data access")
+	}
+}
+
+func TestRFCConfigSize(t *testing.T) {
+	// 6 regs x 8 warps x 128 B = 6 KB.
+	if got := RFCConfig(6, 8, 8, 2, 1).SizeKB; got != 6 {
+		t.Errorf("RFC size = %g KB, want 6", got)
+	}
+	// 6 regs x 32 warps = 24 KB (Figure 13's largest config).
+	if got := RFCConfig(6, 32, 24, 2, 1).SizeKB; got != 24 {
+		t.Errorf("RFC size = %g KB, want 24", got)
+	}
+}
+
+// Monotonicity properties of the energy model.
+func TestEnergyMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for kb := 8.0; kb <= 512; kb *= 2 {
+		e := (RFConfig{SizeKB: kb, Banks: 24, ReadPorts: 1, WritePorts: 1, Vdd: finfet.STV}).AccessEnergyPJ()
+		if e <= prev {
+			t.Fatalf("energy not increasing at %g KB", kb)
+		}
+		prev = e
+	}
+}
+
+func TestEnergyMonotoneInVdd(t *testing.T) {
+	prev := 0.0
+	for _, v := range []float64{0.25, 0.3, 0.35, 0.4, 0.45, 0.5} {
+		e := MRFConfig(v).AccessEnergyPJ()
+		if e <= prev {
+			t.Fatalf("energy not increasing at %g V", v)
+		}
+		prev = e
+	}
+}
+
+func TestEnergyMonotoneInPorts(t *testing.T) {
+	prev := 0.0
+	for ports := 1; ports <= 8; ports++ {
+		cfg := RFConfig{SizeKB: 6, Banks: 8, ReadPorts: ports, WritePorts: 1, Vdd: finfet.STV}
+		e := cfg.AccessEnergyPJ()
+		if e <= prev {
+			t.Fatalf("energy not increasing at %d read ports", ports)
+		}
+		prev = e
+	}
+}
+
+func TestPartitionEnergiesOrdered(t *testing.T) {
+	frfLow := FRFConfig(ModeLowCap).AccessEnergyPJ()
+	frfHigh := FRFConfig(ModeNormal).AccessEnergyPJ()
+	srf := SRFConfig().AccessEnergyPJ()
+	mrf := MRFConfig(finfet.STV).AccessEnergyPJ()
+	if !(frfLow < frfHigh && srf < mrf && frfHigh < mrf) {
+		t.Errorf("partition energy ordering violated: %g %g %g %g", frfLow, frfHigh, srf, mrf)
+	}
+}
+
+// Area anchors: baseline 0.2 mm^2, proposed (FRF with back-gate wiring +
+// SRF) 0.214 mm^2, under 10% overhead.
+func TestAreaAnchors(t *testing.T) {
+	base := MRFConfig(finfet.STV).AreaMM2()
+	approx(t, "baseline RF area", base, 0.2, 0.01)
+	proposed := FRFConfig(ModeNormal).AreaMM2() + SRFConfig().AreaMM2()
+	approx(t, "proposed RF area", proposed, 0.214, 0.01)
+	if ovh := proposed/base - 1; ovh >= 0.10 {
+		t.Errorf("area overhead = %.1f%%, want < 10%%", ovh*100)
+	}
+}
+
+// FRF is 12.5% of the RF capacity (32 of 256 KB).
+func TestFRFShareOfCapacity(t *testing.T) {
+	approx(t, "FRF capacity share", FRFConfig(ModeNormal).SizeKB/256, 0.125, 1e-9)
+}
+
+// Swapping table delays from Section III-B; the 7 nm delay must be below
+// 10% of the 900 MHz cycle (111 ps).
+func TestSwapTableDelays(t *testing.T) {
+	approx(t, "22nm", SwapTableDelayPS(Tech22nmCMOS, 8), 105, 0.01)
+	approx(t, "16nm", SwapTableDelayPS(Tech16nmCMOS, 8), 95, 0.01)
+	approx(t, "7nm", SwapTableDelayPS(Tech7nmFinFET, 8), 55, 0.01)
+	if d := SwapTableDelayPS(Tech7nmFinFET, 8); d > 111 {
+		t.Errorf("7nm swap table delay %g ps exceeds 10%% of the cycle", d)
+	}
+}
+
+func TestSwapTableDelayGrowsWithEntries(t *testing.T) {
+	prev := 0.0
+	for e := 2; e <= 64; e *= 2 {
+		d := SwapTableDelayPS(Tech7nmFinFET, e)
+		if d <= prev {
+			t.Fatalf("delay not increasing at %d entries", e)
+		}
+		prev = d
+	}
+}
+
+func TestSwapTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SwapTableDelayPS(Tech7nmFinFET, 0)
+}
+
+func TestTable4Complete(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 4 {
+		t.Fatalf("Table4 has %d rows", len(rows))
+	}
+	wantNames := []string{"FRF_low", "FRF_high", "SRF", "MRF"}
+	wantSizes := []float64{32, 32, 224, 256}
+	for i, row := range rows {
+		if row.Name != wantNames[i] {
+			t.Errorf("row %d = %s, want %s", i, row.Name, wantNames[i])
+		}
+		if row.SizeKB != wantSizes[i] {
+			t.Errorf("%s size = %g, want %g", row.Name, row.SizeKB, wantSizes[i])
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	bad := []RFConfig{
+		{SizeKB: 0, Banks: 24, Vdd: finfet.STV},
+		{SizeKB: 32, Banks: 0, Vdd: finfet.STV},
+		{SizeKB: 32, Banks: 24, Vdd: 0},
+		{SizeKB: 32, Banks: 24, Vdd: finfet.STV, ReadPorts: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			cfg.AccessEnergyPJ()
+		}()
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNormal.String() != "high" || ModeLowCap.String() != "low" {
+		t.Error("mode names wrong")
+	}
+	if Tech7nmFinFET.String() != "7nm FinFET" {
+		t.Error("tech name wrong")
+	}
+}

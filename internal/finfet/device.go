@@ -1,0 +1,204 @@
+// Package finfet models the 7 nm double-gate FinFET devices the paper's
+// register file is built from: a transregional I-V model with binary
+// back-gate control, an FO4 inverter-chain delay model (Figure 1), and
+// 6T/8T/9T/10T SRAM cells with static-noise-margin and Monte Carlo yield
+// analysis (Table III).
+//
+// The paper derived these numbers from Synopsys TCAD device simulation and
+// HSPICE Monte Carlo runs, neither of which is available here. Instead the
+// package uses analytical compact models — an EKV-style transregional
+// drain-current expression and an alpha-power-law delay expression — whose
+// handful of parameters are calibrated so that the paper's reported
+// operating points (Table III currents and SNMs, the 3x NTV:STV delay
+// ratio behind Figure 1) are reproduced. Everything downstream consumes
+// only these derived quantities, so the substitution preserves the
+// architecture-level behaviour.
+package finfet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Operating voltages used throughout the paper.
+const (
+	// STV is the super-threshold supply voltage (volts).
+	STV = 0.45
+	// NTV is the near-threshold supply voltage (volts).
+	NTV = 0.30
+)
+
+// BackGate is the binary back-gate state of a double-gate FinFET.
+type BackGate bool
+
+// Back-gate states. When the back gate is disabled only the front-gate
+// channel forms: drive current drops sharply, the effective threshold
+// voltage rises, and the gate capacitance halves.
+const (
+	BackGateOn  BackGate = true
+	BackGateOff BackGate = false
+)
+
+// String returns "BG=Vdd" or "BG=0", matching the paper's Table III labels.
+func (b BackGate) String() string {
+	if b == BackGateOn {
+		return "BG=Vdd"
+	}
+	return "BG=0"
+}
+
+// Device is a compact model of the paper's 7 nm FinFET: 7 nm drawn gate
+// length with 1.5 nm underlap on each side (10 nm effective channel).
+type Device struct {
+	// Vth is the threshold voltage with the back gate enabled (volts).
+	Vth float64
+	// VthBGOff is the effective threshold with the back gate disabled.
+	VthBGOff float64
+	// IS is the specific current of the EKV transregional model (A/um).
+	IS float64
+	// NKT is the slope parameter 2*n*phi_t of the EKV model (volts).
+	NKT float64
+	// Alpha is the velocity-saturation exponent of the delay model.
+	Alpha float64
+	// PhiSmooth smooths the overdrive in the delay model so the curve
+	// stays finite (but steep) into the sub-threshold regime.
+	PhiSmooth float64
+	// T0 scales the FO4 delay (seconds).
+	T0 float64
+	// CgPerUm is the gate capacitance per micron of width with both
+	// gates enabled (farads/um). Back-gate-off halves it.
+	CgPerUm float64
+	// DIBL is the drain-induced barrier lowering coefficient (V/V),
+	// which makes leakage grow with supply voltage.
+	DIBL float64
+	// IOffSTV anchors the off-state (leakage) current at STV (A/um).
+	IOffSTV float64
+	// NSubPhi is n*phi_t for the sub-threshold leakage slope (volts).
+	NSubPhi float64
+}
+
+// Default7nm returns the calibrated 7 nm device. Calibration anchors
+// (all from the paper):
+//   - I_on = 7.505e-4 A/um at NTV (0.30 V), back gate on
+//   - I_on = 2.372e-3 A/um at STV (0.45 V), back gate on
+//   - I_on = 2.427e-4 A/um at STV, back gate off
+//   - FO4 delay at NTV = 3x the delay at STV (Figure 1 / the 16-bit
+//     adder datapoint in the introduction)
+func Default7nm() *Device {
+	return &Device{
+		Vth:       0.23,
+		VthBGOff:  0.42740,
+		IS:        8.1074e-4,
+		NKT:       2 * 2.8 * 0.026,
+		Alpha:     1.38760,
+		PhiSmooth: 0.035,
+		T0:        3.40092e-12,
+		CgPerUm:   0.6e-15,
+		DIBL:      0.0837,
+		IOffSTV:   7.9e-8,
+		NSubPhi:   1.25 * 0.026,
+	}
+}
+
+// vth returns the effective threshold voltage for the back-gate state.
+func (d *Device) vth(bg BackGate) float64 {
+	if bg == BackGateOn {
+		return d.Vth
+	}
+	return d.VthBGOff
+}
+
+// IOn returns the saturation drive current in A/um at supply voltage vdd
+// with the given back-gate state. The EKV transregional form covers
+// sub-threshold through strong inversion continuously.
+func (d *Device) IOn(vdd float64, bg BackGate) float64 {
+	if vdd <= 0 {
+		return 0
+	}
+	is := d.IS
+	if bg == BackGateOff {
+		// Only the front-gate channel conducts.
+		is /= 2
+	}
+	x := (vdd - d.vth(bg)) / d.NKT
+	l := math.Log1p(math.Exp(x))
+	return is * l * l
+}
+
+// IOff returns the off-state (leakage) current in A/um at supply voltage
+// vdd. DIBL makes leakage rise with vdd; disabling the back gate cuts
+// leakage roughly in half (one channel) and raises the barrier.
+func (d *Device) IOff(vdd float64, bg BackGate) float64 {
+	dvth := d.vth(bg) - d.Vth // extra barrier with back gate off
+	i := d.IOffSTV * math.Exp((d.DIBL*(vdd-STV)-dvth)/d.NSubPhi)
+	if bg == BackGateOff {
+		i /= 2
+	}
+	return i
+}
+
+// GateCap returns the gate capacitance per micron for the back-gate state.
+// Disabling the back gate halves the capacitance, which is the energy
+// lever the adaptive FRF low-power mode exploits.
+func (d *Device) GateCap(bg BackGate) float64 {
+	if bg == BackGateOn {
+		return d.CgPerUm
+	}
+	return d.CgPerUm / 2
+}
+
+// overdrive returns the smoothed gate overdrive used by the delay model.
+// It approaches vdd-vth in strong inversion and decays exponentially (but
+// never reaches zero) below threshold, producing the sharp-but-finite
+// delay blow-up of Figure 1.
+func (d *Device) overdrive(vdd float64, bg BackGate) float64 {
+	return d.PhiSmooth * math.Log1p(math.Exp((vdd-d.vth(bg))/d.PhiSmooth))
+}
+
+// FO4Delay returns the fanout-of-4 inverter delay in seconds at the given
+// supply voltage and back-gate state (alpha-power law on the smoothed
+// overdrive). Back-gate-off halves the load capacitance, which partially
+// offsets the weaker drive.
+func (d *Device) FO4Delay(vdd float64, bg BackGate) float64 {
+	if vdd <= 0 {
+		return math.Inf(1)
+	}
+	capFactor := 1.0
+	if bg == BackGateOff {
+		capFactor = 0.5
+	}
+	vov := d.overdrive(vdd, bg)
+	return d.T0 * capFactor * vdd / math.Pow(vov, d.Alpha)
+}
+
+// ChainDelay returns the delay of an n-stage FO4 inverter chain in
+// seconds. Figure 1 plots this for n = 40 across supply voltages.
+func (d *Device) ChainDelay(stages int, vdd float64, bg BackGate) float64 {
+	if stages <= 0 {
+		panic(fmt.Sprintf("finfet: chain of %d stages", stages))
+	}
+	return float64(stages) * d.FO4Delay(vdd, bg)
+}
+
+// DelayRatioNTV returns the NTV:STV FO4 delay ratio, the quantity the
+// partitioned-RF latency model (1-cycle FRF vs 3-cycle SRF) rests on.
+func (d *Device) DelayRatioNTV() float64 {
+	return d.FO4Delay(NTV, BackGateOn) / d.FO4Delay(STV, BackGateOn)
+}
+
+// Figure1Point is one sample of the Figure 1 sweep.
+type Figure1Point struct {
+	Vdd     float64
+	DelayNS float64
+}
+
+// Figure1Sweep reproduces Figure 1: the delay of a 40-stage FO4 inverter
+// chain versus supply voltage, from deep sub-threshold (0.15 V) past STV.
+func (d *Device) Figure1Sweep() []Figure1Point {
+	var pts []Figure1Point
+	for mv := 150; mv <= 550; mv += 25 {
+		v := float64(mv) / 1000
+		pts = append(pts, Figure1Point{Vdd: v, DelayNS: d.ChainDelay(40, v, BackGateOn) * 1e9})
+	}
+	return pts
+}

@@ -1,0 +1,267 @@
+package finfet
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		if math.Abs(got) > relTol {
+			t.Errorf("%s = %g, want ~0", name, got)
+		}
+		return
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %g, want %g (±%.1f%%)", name, got, want, relTol*100)
+	}
+}
+
+// Table III anchors: the calibrated I-V model must reproduce the paper's
+// HSPICE-derived drive currents.
+func TestIOnMatchesTable3(t *testing.T) {
+	d := Default7nm()
+	approx(t, "IOn(NTV, BG on)", d.IOn(NTV, BackGateOn), 7.505e-4, 0.005)
+	approx(t, "IOn(STV, BG on)", d.IOn(STV, BackGateOn), 2.372e-3, 0.005)
+	approx(t, "IOn(STV, BG off)", d.IOn(STV, BackGateOff), 2.427e-4, 0.005)
+}
+
+// The paper: enabling both gates gives ~9x the current of front-gate-only.
+func TestBackGateCurrentRatio(t *testing.T) {
+	d := Default7nm()
+	ratio := d.IOn(STV, BackGateOn) / d.IOn(STV, BackGateOff)
+	if ratio < 8 || ratio < 0 || ratio > 11 {
+		t.Errorf("back-gate current ratio = %.2f, want ~9x", ratio)
+	}
+}
+
+func TestIOnMonotoneInVdd(t *testing.T) {
+	d := Default7nm()
+	prev := 0.0
+	for mv := 100; mv <= 600; mv += 10 {
+		i := d.IOn(float64(mv)/1000, BackGateOn)
+		if i <= prev {
+			t.Fatalf("IOn not strictly increasing at %d mV", mv)
+		}
+		prev = i
+	}
+}
+
+func TestIOnZeroAtZeroVdd(t *testing.T) {
+	d := Default7nm()
+	if got := d.IOn(0, BackGateOn); got != 0 {
+		t.Errorf("IOn(0) = %g, want 0", got)
+	}
+}
+
+// Figure 1's key property: NTV delay is ~3x STV delay.
+func TestDelayRatioNTVisThree(t *testing.T) {
+	d := Default7nm()
+	approx(t, "NTV:STV delay ratio", d.DelayRatioNTV(), 3.0, 0.02)
+}
+
+func TestDelayDivergesBelowThreshold(t *testing.T) {
+	d := Default7nm()
+	sub := d.FO4Delay(0.20, BackGateOn)
+	stv := d.FO4Delay(STV, BackGateOn)
+	if sub/stv < 10 {
+		t.Errorf("sub-threshold delay only %.1fx STV; Figure 1 shows a sharp blow-up", sub/stv)
+	}
+	// But it must remain finite (near-threshold is usable, unlike deep
+	// sub-threshold).
+	if math.IsInf(sub, 0) || math.IsNaN(sub) {
+		t.Error("sub-threshold delay is not finite")
+	}
+}
+
+func TestDelayMonotoneDecreasingInVdd(t *testing.T) {
+	d := Default7nm()
+	prev := math.Inf(1)
+	for mv := 150; mv <= 550; mv += 10 {
+		del := d.FO4Delay(float64(mv)/1000, BackGateOn)
+		if del >= prev {
+			t.Fatalf("delay not strictly decreasing at %d mV", mv)
+		}
+		prev = del
+	}
+}
+
+func TestChainDelayScalesLinearly(t *testing.T) {
+	d := Default7nm()
+	one := d.ChainDelay(1, STV, BackGateOn)
+	forty := d.ChainDelay(40, STV, BackGateOn)
+	approx(t, "40-stage vs 1-stage", forty/one, 40, 1e-9)
+}
+
+func TestChainDelayPanicsOnZeroStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default7nm().ChainDelay(0, STV, BackGateOn)
+}
+
+func TestFigure1SweepShape(t *testing.T) {
+	pts := Default7nm().Figure1Sweep()
+	if len(pts) < 10 {
+		t.Fatalf("sweep has %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Vdd <= pts[i-1].Vdd {
+			t.Error("sweep voltages not increasing")
+		}
+		if pts[i].DelayNS >= pts[i-1].DelayNS {
+			t.Errorf("delay not decreasing at %.2f V", pts[i].Vdd)
+		}
+	}
+}
+
+// Back-gate-off delay: weaker drive but half capacitance. The paper's
+// FRF_low is a 2-cycle access vs 1-cycle FRF_high; the raw gate-delay
+// penalty must be bounded (well under the ~9x current penalty).
+func TestBackGateOffDelayPenaltyBounded(t *testing.T) {
+	d := Default7nm()
+	ratio := d.FO4Delay(STV, BackGateOff) / d.FO4Delay(STV, BackGateOn)
+	if ratio < 1.5 || ratio > 6 {
+		t.Errorf("BG-off delay penalty = %.2fx, want moderate (1.5-6x)", ratio)
+	}
+}
+
+func TestGateCapHalvesWithBackGateOff(t *testing.T) {
+	d := Default7nm()
+	approx(t, "Cg ratio", d.GateCap(BackGateOff)/d.GateCap(BackGateOn), 0.5, 1e-12)
+}
+
+func TestIOffGrowsWithVdd(t *testing.T) {
+	d := Default7nm()
+	if d.IOff(NTV, BackGateOn) >= d.IOff(STV, BackGateOn) {
+		t.Error("DIBL should make leakage grow with Vdd")
+	}
+}
+
+func TestIOffBackGateOffReduced(t *testing.T) {
+	d := Default7nm()
+	if d.IOff(STV, BackGateOff) >= d.IOff(STV, BackGateOn) {
+		t.Error("disabling the back gate should reduce leakage")
+	}
+}
+
+// Leakage-power ratio NTV:STV must match the Table IV-implied per-KB
+// ratio: (13.4/224) / (33.8/256) = 0.453.
+func TestLeakagePowerRatioMatchesTable4(t *testing.T) {
+	d := Default7nm()
+	ratio := (NTV * d.IOff(NTV, BackGateOn)) / (STV * d.IOff(STV, BackGateOn))
+	approx(t, "NTV:STV leakage power ratio", ratio, 0.453, 0.02)
+}
+
+func TestIOnOffRatioRealistic(t *testing.T) {
+	d := Default7nm()
+	r := d.IOn(STV, BackGateOn) / d.IOff(STV, BackGateOn)
+	if r < 1e3 || r > 1e6 {
+		t.Errorf("Ion/Ioff = %.3g, want a realistic 1e3-1e6", r)
+	}
+}
+
+// Table III SNM anchors.
+func TestSNMMatchesTable3(t *testing.T) {
+	cell := Cell{Type: Cell8T}
+	approx(t, "8T SNM @NTV", cell.SNM(NTV, BackGateOn), 0.092, 0.01)
+	approx(t, "8T SNM @STV", cell.SNM(STV, BackGateOn), 0.144, 0.01)
+	approx(t, "8T SNM @STV BG=0", cell.SNM(STV, BackGateOff), 0.096, 0.01)
+}
+
+// The paper: a sized-up 6T cell still has only 0.088 V SNM at STV —
+// worse than 8T despite the larger area.
+func Test6TWorseThan8TDespiteLargerArea(t *testing.T) {
+	c6, c8 := Cell{Type: Cell6T}, Cell{Type: Cell8T}
+	approx(t, "6T SNM @STV", c6.SNM(STV, BackGateOn), 0.088, 0.01)
+	if c6.AreaF2() <= c8.AreaF2() {
+		t.Error("sized-up 6T should be larger than 8T")
+	}
+	if c6.SNM(STV, BackGateOn) >= c8.SNM(STV, BackGateOn) {
+		t.Error("6T SNM should be worse than 8T")
+	}
+}
+
+func TestSNMOrderingAcrossCellTypes(t *testing.T) {
+	for _, v := range []float64{NTV, STV} {
+		s8 := Cell{Type: Cell8T}.SNM(v, BackGateOn)
+		s9 := Cell{Type: Cell9T}.SNM(v, BackGateOn)
+		s10 := Cell{Type: Cell10T}.SNM(v, BackGateOn)
+		if !(s8 < s9 && s9 < s10) {
+			t.Errorf("at %.2f V want SNM(8T) < SNM(9T) < SNM(10T), got %g %g %g", v, s8, s9, s10)
+		}
+	}
+}
+
+func TestSNMNeverNegative(t *testing.T) {
+	for _, ct := range []CellType{Cell6T, Cell8T, Cell9T, Cell10T} {
+		for mv := 0; mv <= 600; mv += 50 {
+			if snm := (Cell{Type: ct}).SNM(float64(mv)/1000, BackGateOff); snm < 0 {
+				t.Errorf("%v SNM < 0 at %d mV", ct, mv)
+			}
+		}
+	}
+}
+
+// The yield study's conclusion: 8T at NTV is manufacturable, 6T at NTV
+// is not.
+func TestMonteCarloYieldSeparates8Tfrom6T(t *testing.T) {
+	const samples = 20000
+	y8 := MonteCarloYield(Cell{Type: Cell8T}, NTV, BackGateOn, samples, 1)
+	y6 := MonteCarloYield(Cell{Type: Cell6T}, NTV, BackGateOn, samples, 1)
+	if y8.Yield < 0.99 {
+		t.Errorf("8T yield at NTV = %.4f, want >= 0.99", y8.Yield)
+	}
+	if y6.Yield > 0.95 {
+		t.Errorf("6T yield at NTV = %.4f, want clearly degraded", y6.Yield)
+	}
+	if y8.MeanSNM <= y6.MeanSNM {
+		t.Error("8T mean SNM should exceed 6T at NTV")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	a := MonteCarloYield(Cell{Type: Cell8T}, NTV, BackGateOn, 5000, 42)
+	b := MonteCarloYield(Cell{Type: Cell8T}, NTV, BackGateOn, 5000, 42)
+	if a != b {
+		t.Error("same-seed Monte Carlo differed")
+	}
+	c := MonteCarloYield(Cell{Type: Cell8T}, NTV, BackGateOn, 5000, 43)
+	if a.MeanSNM == c.MeanSNM && a.Failures == c.Failures {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+func TestMonteCarloPanicsOnBadSamples(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MonteCarloYield(Cell{Type: Cell8T}, NTV, BackGateOn, 0, 1)
+}
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3(Default7nm())
+	if len(rows) != 3 {
+		t.Fatalf("Table3 has %d rows, want 3", len(rows))
+	}
+	wantIOn := []float64{7.505e-4, 2.372e-3, 2.427e-4}
+	wantSNM := []float64{0.092, 0.144, 0.096}
+	for i, row := range rows {
+		approx(t, "Table3 IOn "+row.Design, row.IOn, wantIOn[i], 0.005)
+		approx(t, "Table3 SNM "+row.Design, row.SNM, wantSNM[i], 0.01)
+	}
+}
+
+func TestCellStringAndBackGateString(t *testing.T) {
+	if Cell8T.String() != "8T" || Cell10T.String() != "10T" {
+		t.Error("cell names wrong")
+	}
+	if BackGateOn.String() != "BG=Vdd" || BackGateOff.String() != "BG=0" {
+		t.Error("back-gate names wrong")
+	}
+}

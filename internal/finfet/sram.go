@@ -1,0 +1,173 @@
+package finfet
+
+import (
+	"fmt"
+	"math"
+
+	"pilotrf/internal/stats"
+)
+
+// CellType identifies an SRAM cell topology.
+type CellType uint8
+
+// SRAM cell topologies evaluated in the paper's yield study. The 6T cell
+// is the "sized-up" variant the paper compares against: even with a larger
+// footprint than the 8T cell its read SNM is worse.
+const (
+	Cell6T CellType = iota
+	Cell8T
+	Cell9T
+	Cell10T
+)
+
+// String returns the cell name.
+func (c CellType) String() string {
+	switch c {
+	case Cell6T:
+		return "6T"
+	case Cell8T:
+		return "8T"
+	case Cell9T:
+		return "9T"
+	case Cell10T:
+		return "10T"
+	default:
+		return fmt.Sprintf("CELL_%d", uint8(c))
+	}
+}
+
+// snmParams is the linear SNM-vs-Vdd model per cell type, calibrated to
+// the paper's HSPICE results: 8T = 0.144 V at STV and 0.092 V at NTV;
+// sized-up 6T = 0.088 V at STV. 9T/10T are slightly better than 8T at a
+// higher area cost, consistent with the cited literature.
+type snmParams struct {
+	slope, offset float64
+	areaF2        float64 // layout area in F^2 (F = 7 nm)
+}
+
+var cellTable = map[CellType]snmParams{
+	Cell6T:  {slope: 0.280, offset: -0.038, areaF2: 160}, // sized-up 6T
+	Cell8T:  {slope: 0.34667, offset: -0.012, areaF2: 150},
+	Cell9T:  {slope: 0.360, offset: -0.010, areaF2: 170},
+	Cell10T: {slope: 0.370, offset: -0.005, areaF2: 190},
+}
+
+// bgOffSNMPenaltySTV is the SNM loss at STV when the back gate is
+// disabled, calibrated from Table III (0.144 V -> 0.096 V).
+const bgOffSNMPenaltySTV = 0.048
+
+// Cell is an SRAM cell instance in a given technology.
+type Cell struct {
+	Type CellType
+}
+
+// SNM returns the nominal static noise margin in volts at the given supply
+// voltage and back-gate state. Disabling the back gate weakens the cell's
+// hold strength; the penalty scales with the supply.
+func (c Cell) SNM(vdd float64, bg BackGate) float64 {
+	p, ok := cellTable[c.Type]
+	if !ok {
+		panic(fmt.Sprintf("finfet: unknown cell type %d", uint8(c.Type)))
+	}
+	snm := p.slope*vdd + p.offset
+	if bg == BackGateOff {
+		snm -= bgOffSNMPenaltySTV * (vdd / STV)
+	}
+	return math.Max(snm, 0)
+}
+
+// AreaF2 returns the cell layout area in F^2 units.
+func (c Cell) AreaF2() float64 {
+	p, ok := cellTable[c.Type]
+	if !ok {
+		panic(fmt.Sprintf("finfet: unknown cell type %d", uint8(c.Type)))
+	}
+	return p.areaF2
+}
+
+// SNMMin is the minimum SNM for reliable read/write operation. Cells whose
+// sampled SNM falls below it are counted as failures in the yield study.
+const SNMMin = 0.040
+
+// SigmaVth is the standard deviation of the per-device threshold-voltage
+// variation at 7 nm from work-function variation plus line-edge roughness.
+// FinFETs are immune to random dopant fluctuation (un-doped channel), so
+// this is the dominant variation source.
+const SigmaVth = 0.025
+
+// snmSensitivity converts threshold variation into SNM variation. Six (or
+// more) devices contribute; the calibrated lumped sensitivity is ~0.45.
+const snmSensitivity = 0.45
+
+// YieldResult is the outcome of a Monte Carlo yield analysis.
+type YieldResult struct {
+	Cell     CellType
+	Vdd      float64
+	BackGate BackGate
+	Samples  int
+	MeanSNM  float64
+	StdSNM   float64
+	Failures int
+	// Yield is the fraction of sampled cells with SNM >= SNMMin.
+	Yield float64
+}
+
+// MonteCarloYield samples `samples` cells with threshold-voltage variation
+// and reports the SNM distribution and the fraction meeting SNMMin. The
+// RNG seed makes the analysis exactly reproducible.
+func MonteCarloYield(cell Cell, vdd float64, bg BackGate, samples int, seed uint64) YieldResult {
+	if samples <= 0 {
+		panic(fmt.Sprintf("finfet: %d Monte Carlo samples", samples))
+	}
+	rng := stats.NewRNG(seed)
+	nominal := cell.SNM(vdd, bg)
+	var sum, sumsq float64
+	failures := 0
+	for i := 0; i < samples; i++ {
+		// Two worst-case devices fight in each SNM lobe; their
+		// mismatch is what degrades the margin.
+		dv := rng.NormFloat64() * SigmaVth
+		snm := nominal - snmSensitivity*math.Abs(dv)
+		sum += snm
+		sumsq += snm * snm
+		if snm < SNMMin {
+			failures++
+		}
+	}
+	mean := sum / float64(samples)
+	variance := sumsq/float64(samples) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return YieldResult{
+		Cell:     cell.Type,
+		Vdd:      vdd,
+		BackGate: bg,
+		Samples:  samples,
+		MeanSNM:  mean,
+		StdSNM:   math.Sqrt(variance),
+		Failures: failures,
+		Yield:    1 - float64(failures)/float64(samples),
+	}
+}
+
+// Table3Row is one row of the paper's Table III: the operating point of an
+// 8T FinFET SRAM cell.
+type Table3Row struct {
+	Design   string
+	Vdd      float64
+	IOn      float64 // A/um
+	SNM      float64 // V
+	BackGate BackGate
+}
+
+// Table3 reproduces Table III for the calibrated 7 nm device: the three 8T
+// SRAM operating points used by the partitioned register file.
+func Table3(d *Device) []Table3Row {
+	cell := Cell{Type: Cell8T}
+	return []Table3Row{
+		{Design: "NTV", Vdd: NTV, IOn: d.IOn(NTV, BackGateOn), SNM: cell.SNM(NTV, BackGateOn), BackGate: BackGateOn},
+		{Design: "STV, BG=Vdd", Vdd: STV, IOn: d.IOn(STV, BackGateOn), SNM: cell.SNM(STV, BackGateOn), BackGate: BackGateOn},
+		{Design: "STV, BG=0", Vdd: STV, IOn: d.IOn(STV, BackGateOff), SNM: cell.SNM(STV, BackGateOff), BackGate: BackGateOff},
+	}
+}

@@ -1,0 +1,377 @@
+package kernel
+
+import (
+	"fmt"
+
+	"pilotrf/internal/isa"
+)
+
+// Label is a branch target placeholder resolved at Build time.
+type Label int
+
+// Builder assembles a Program instruction by instruction. All emit methods
+// panic on malformed operands at Build time (not emit time), so builders
+// can be written as straight-line code.
+type Builder struct {
+	name    string
+	numRegs int
+	instrs  []isa.Instruction
+	guard   isa.Guard
+
+	labelPCs []int // label -> pc, -1 while unbound
+	// patches records instruction slots whose Target/Reconv are labels
+	// awaiting resolution.
+	patches []patch
+}
+
+type patch struct {
+	pc          int
+	target      Label
+	reconv      Label
+	reconvIsSet bool
+}
+
+// NewBuilder returns a builder for a kernel with numRegs architected
+// registers per thread.
+func NewBuilder(name string, numRegs int) *Builder {
+	return &Builder{name: name, numRegs: numRegs, guard: isa.GuardAlways}
+}
+
+// NewLabel allocates an unbound label.
+func (b *Builder) NewLabel() Label {
+	b.labelPCs = append(b.labelPCs, -1)
+	return Label(len(b.labelPCs) - 1)
+}
+
+// Bind binds a label to the current position.
+func (b *Builder) Bind(l Label) {
+	if b.labelPCs[l] != -1 {
+		panic(fmt.Sprintf("kernel: label %d bound twice", l))
+	}
+	b.labelPCs[l] = len(b.instrs)
+}
+
+// Here returns a label bound to the current position.
+func (b *Builder) Here() Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+// Guarded emits the instructions produced by fn under the guard @p (or
+// @!p when neg). Guards nest no deeper than one level, matching the ISA.
+func (b *Builder) Guarded(p isa.Pred, neg bool, fn func()) {
+	prev := b.guard
+	b.guard = isa.Guard{Pred: p, Neg: neg}
+	fn()
+	b.guard = prev
+}
+
+func (b *Builder) emit(in isa.Instruction) {
+	in.Guard = b.guard
+	b.instrs = append(b.instrs, in)
+}
+
+// blank returns an instruction template with all operand slots cleared.
+func blank(op isa.Op) isa.Instruction {
+	return isa.Instruction{
+		Op:      op,
+		Dst:     isa.RegNone,
+		SrcA:    isa.RegNone,
+		SrcB:    isa.RegNone,
+		SrcC:    isa.RegNone,
+		PDst:    isa.PredNone,
+		SrcPred: isa.PredNone,
+	}
+}
+
+// NOP emits a no-op.
+func (b *Builder) NOP() {
+	b.emit(blank(isa.OpNOP))
+}
+
+// MOV emits Rd = Ra.
+func (b *Builder) MOV(d, a isa.Reg) {
+	in := blank(isa.OpMOV)
+	in.Dst, in.SrcA = d, a
+	b.emit(in)
+}
+
+// MOVI emits Rd = imm.
+func (b *Builder) MOVI(d isa.Reg, imm int32) {
+	in := blank(isa.OpMOVI)
+	in.Dst, in.Imm = d, imm
+	b.emit(in)
+}
+
+// S2R emits Rd = special register.
+func (b *Builder) S2R(d isa.Reg, s isa.Special) {
+	in := blank(isa.OpS2R)
+	in.Dst, in.Special = d, s
+	b.emit(in)
+}
+
+func (b *Builder) emit3(op isa.Op, d, a, src2 isa.Reg) {
+	in := blank(op)
+	in.Dst, in.SrcA, in.SrcB = d, a, src2
+	b.emit(in)
+}
+
+// IADD emits Rd = Ra + Rb.
+func (b *Builder) IADD(d, a, rb isa.Reg) { b.emit3(isa.OpIADD, d, a, rb) }
+
+// ISUB emits Rd = Ra - Rb.
+func (b *Builder) ISUB(d, a, rb isa.Reg) { b.emit3(isa.OpISUB, d, a, rb) }
+
+// IMUL emits Rd = Ra * Rb.
+func (b *Builder) IMUL(d, a, rb isa.Reg) { b.emit3(isa.OpIMUL, d, a, rb) }
+
+// AND emits Rd = Ra & Rb.
+func (b *Builder) AND(d, a, rb isa.Reg) { b.emit3(isa.OpAND, d, a, rb) }
+
+// OR emits Rd = Ra | Rb.
+func (b *Builder) OR(d, a, rb isa.Reg) { b.emit3(isa.OpOR, d, a, rb) }
+
+// XOR emits Rd = Ra ^ Rb.
+func (b *Builder) XOR(d, a, rb isa.Reg) { b.emit3(isa.OpXOR, d, a, rb) }
+
+// IMIN emits Rd = min(Ra, Rb).
+func (b *Builder) IMIN(d, a, rb isa.Reg) { b.emit3(isa.OpIMIN, d, a, rb) }
+
+// SHFL emits the Kepler-style warp shuffle: Rd = Ra of lane (Rb & 31).
+func (b *Builder) SHFL(d, a, rb isa.Reg) { b.emit3(isa.OpSHFL, d, a, rb) }
+
+// IMAX emits Rd = max(Ra, Rb).
+func (b *Builder) IMAX(d, a, rb isa.Reg) { b.emit3(isa.OpIMAX, d, a, rb) }
+
+// FADD emits Rd = Ra + Rb (float32).
+func (b *Builder) FADD(d, a, rb isa.Reg) { b.emit3(isa.OpFADD, d, a, rb) }
+
+// FMUL emits Rd = Ra * Rb (float32).
+func (b *Builder) FMUL(d, a, rb isa.Reg) { b.emit3(isa.OpFMUL, d, a, rb) }
+
+func (b *Builder) emitImm(op isa.Op, d, a isa.Reg, imm int32) {
+	in := blank(op)
+	in.Dst, in.SrcA, in.Imm = d, a, imm
+	b.emit(in)
+}
+
+// IADDI emits Rd = Ra + imm.
+func (b *Builder) IADDI(d, a isa.Reg, imm int32) { b.emitImm(isa.OpIADDI, d, a, imm) }
+
+// IMULI emits Rd = Ra * imm.
+func (b *Builder) IMULI(d, a isa.Reg, imm int32) { b.emitImm(isa.OpIMULI, d, a, imm) }
+
+// ANDI emits Rd = Ra & imm.
+func (b *Builder) ANDI(d, a isa.Reg, imm int32) { b.emitImm(isa.OpANDI, d, a, imm) }
+
+// SHLI emits Rd = Ra << imm.
+func (b *Builder) SHLI(d, a isa.Reg, imm int32) { b.emitImm(isa.OpSHLI, d, a, imm) }
+
+// SHRI emits Rd = Ra >> imm (logical).
+func (b *Builder) SHRI(d, a isa.Reg, imm int32) { b.emitImm(isa.OpSHRI, d, a, imm) }
+
+// IMAD emits Rd = Ra*Rb + Rc.
+func (b *Builder) IMAD(d, a, rb, rc isa.Reg) {
+	in := blank(isa.OpIMAD)
+	in.Dst, in.SrcA, in.SrcB, in.SrcC = d, a, rb, rc
+	b.emit(in)
+}
+
+// FFMA emits Rd = Ra*Rb + Rc (float32).
+func (b *Builder) FFMA(d, a, rb, rc isa.Reg) {
+	in := blank(isa.OpFFMA)
+	in.Dst, in.SrcA, in.SrcB, in.SrcC = d, a, rb, rc
+	b.emit(in)
+}
+
+// FRCP emits Rd = 1/Ra.
+func (b *Builder) FRCP(d, a isa.Reg) {
+	in := blank(isa.OpFRCP)
+	in.Dst, in.SrcA = d, a
+	b.emit(in)
+}
+
+// FSQRT emits Rd = sqrt(Ra).
+func (b *Builder) FSQRT(d, a isa.Reg) {
+	in := blank(isa.OpFSQRT)
+	in.Dst, in.SrcA = d, a
+	b.emit(in)
+}
+
+// FEXP emits Rd = exp2(Ra).
+func (b *Builder) FEXP(d, a isa.Reg) {
+	in := blank(isa.OpFEXP)
+	in.Dst, in.SrcA = d, a
+	b.emit(in)
+}
+
+// SEL emits Rd = selector ? Ra : Rb.
+func (b *Builder) SEL(d, a, rb isa.Reg, sel isa.Pred) {
+	in := blank(isa.OpSEL)
+	in.Dst, in.SrcA, in.SrcB, in.SrcPred = d, a, rb, sel
+	b.emit(in)
+}
+
+// SETP emits Pd = Ra cmp Rb.
+func (b *Builder) SETP(pd isa.Pred, a isa.Reg, cmp isa.CmpOp, rb isa.Reg) {
+	in := blank(isa.OpSETP)
+	in.PDst, in.SrcA, in.Cmp, in.SrcB = pd, a, cmp, rb
+	b.emit(in)
+}
+
+// SETPI emits Pd = Ra cmp imm.
+func (b *Builder) SETPI(pd isa.Pred, a isa.Reg, cmp isa.CmpOp, imm int32) {
+	in := blank(isa.OpSETPI)
+	in.PDst, in.SrcA, in.Cmp, in.Imm = pd, a, cmp, imm
+	b.emit(in)
+}
+
+// LDG emits Rd = global[Ra+imm].
+func (b *Builder) LDG(d, addr isa.Reg, imm int32) {
+	in := blank(isa.OpLDG)
+	in.Dst, in.SrcA, in.Imm = d, addr, imm
+	b.emit(in)
+}
+
+// STG emits global[Ra+imm] = Rb.
+func (b *Builder) STG(addr isa.Reg, imm int32, v isa.Reg) {
+	in := blank(isa.OpSTG)
+	in.SrcA, in.Imm, in.SrcB = addr, imm, v
+	b.emit(in)
+}
+
+// LDS emits Rd = shared[Ra+imm].
+func (b *Builder) LDS(d, addr isa.Reg, imm int32) {
+	in := blank(isa.OpLDS)
+	in.Dst, in.SrcA, in.Imm = d, addr, imm
+	b.emit(in)
+}
+
+// STS emits shared[Ra+imm] = Rb.
+func (b *Builder) STS(addr isa.Reg, imm int32, v isa.Reg) {
+	in := blank(isa.OpSTS)
+	in.SrcA, in.Imm, in.SrcB = addr, imm, v
+	b.emit(in)
+}
+
+// BAR emits a CTA-wide barrier.
+func (b *Builder) BAR() { b.emit(blank(isa.OpBAR)) }
+
+// EXIT emits thread termination.
+func (b *Builder) EXIT() { b.emit(blank(isa.OpEXIT)) }
+
+// Bra emits an unconditional branch to target. The reconvergence point is
+// irrelevant for uniform branches but is set to the target for safety.
+func (b *Builder) Bra(target Label) {
+	b.braTo(target, target, true)
+}
+
+// BraIf emits @P BRA target (or @!P when neg). The reconvergence point is
+// the fall-through instruction, which is correct for backward loop
+// branches: threads that fall out of the loop wait there.
+func (b *Builder) BraIf(p isa.Pred, neg bool, target Label) {
+	prev := b.guard
+	b.guard = isa.Guard{Pred: p, Neg: neg}
+	b.braTo(target, Label(-1), false) // reconv = fallthrough, resolved at Build
+	b.guard = prev
+}
+
+// BraIfReconv emits a guarded branch with an explicit reconvergence label,
+// for forward branches whose post-dominator is not the fall-through.
+func (b *Builder) BraIfReconv(p isa.Pred, neg bool, target, reconv Label) {
+	prev := b.guard
+	b.guard = isa.Guard{Pred: p, Neg: neg}
+	b.braTo(target, reconv, true)
+	b.guard = prev
+}
+
+func (b *Builder) braTo(target, reconv Label, reconvSet bool) {
+	in := blank(isa.OpBRA)
+	b.patches = append(b.patches, patch{pc: len(b.instrs), target: target, reconv: reconv, reconvIsSet: reconvSet})
+	b.emit(in)
+}
+
+// If emits a structured single-sided conditional: body executes in lanes
+// where p holds (or fails to hold, when neg). The skip branch's target and
+// reconvergence point are both the end of the body, so divergent lanes
+// simply wait there.
+func (b *Builder) If(p isa.Pred, neg bool, body func()) {
+	end := b.NewLabel()
+	// Skip the body where the condition does NOT hold.
+	b.BraIfReconv(p, !neg, end, end)
+	body()
+	b.Bind(end)
+}
+
+// IfElse emits a structured two-sided conditional.
+func (b *Builder) IfElse(p isa.Pred, thenBody, elseBody func()) {
+	elseL := b.NewLabel()
+	end := b.NewLabel()
+	b.BraIfReconv(p, true, elseL, end) // @!P -> else
+	thenBody()
+	b.BraIfReconv(isa.PT, false, end, end)
+	b.Bind(elseL)
+	elseBody()
+	b.Bind(end)
+}
+
+// CountedLoop emits a loop running Ra from 0 (exclusive upper bound in
+// imm), using counter register ctr and predicate p for the back edge.
+// body is emitted once; the trip count is dynamic.
+func (b *Builder) CountedLoop(ctr isa.Reg, p isa.Pred, trips int32, body func()) {
+	b.MOVI(ctr, 0)
+	top := b.Here()
+	body()
+	b.IADDI(ctr, ctr, 1)
+	b.SETPI(p, ctr, isa.CmpLT, trips)
+	b.BraIf(p, false, top)
+}
+
+// RegCountedLoop is CountedLoop with a register-held bound, so the trip
+// count can differ per thread (producing real branch divergence).
+func (b *Builder) RegCountedLoop(ctr isa.Reg, p isa.Pred, bound isa.Reg, body func()) {
+	b.MOVI(ctr, 0)
+	top := b.Here()
+	body()
+	b.IADDI(ctr, ctr, 1)
+	b.SETP(p, ctr, isa.CmpLT, bound)
+	b.BraIf(p, false, top)
+}
+
+// Build resolves labels, validates every instruction, and returns the
+// program.
+func (b *Builder) Build() (*Program, error) {
+	instrs := make([]isa.Instruction, len(b.instrs))
+	copy(instrs, b.instrs)
+	for _, p := range b.patches {
+		tpc := b.labelPCs[p.target]
+		if tpc == -1 {
+			return nil, fmt.Errorf("kernel %s: unbound branch target label %d at pc %d", b.name, p.target, p.pc)
+		}
+		instrs[p.pc].Target = tpc
+		if p.reconvIsSet {
+			rpc := b.labelPCs[p.reconv]
+			if rpc == -1 {
+				return nil, fmt.Errorf("kernel %s: unbound reconvergence label %d at pc %d", b.name, p.reconv, p.pc)
+			}
+			instrs[p.pc].Reconv = rpc
+		} else {
+			instrs[p.pc].Reconv = p.pc + 1
+		}
+	}
+	prog := &Program{Name: b.name, NumRegs: b.numRegs, Instrs: instrs}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustBuild is Build that panics on error, for static workload definitions.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,151 @@
+// Package kerngen generates random but structurally valid kernels for
+// fuzz-style testing: the assembler round-trips them, and the simulator
+// and the reference interpreter must agree on them instruction for
+// instruction. Programs are built from the kernel builder's structured
+// helpers, so reconvergence points are correct by construction, and all
+// generation is seeded (reproducible failures).
+package kerngen
+
+import (
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+	"pilotrf/internal/stats"
+)
+
+// Options bounds the generated program.
+type Options struct {
+	// Regs is the architected register budget (default 16).
+	Regs int
+	// MaxBlocks bounds the number of top-level structure blocks
+	// (default 6).
+	MaxBlocks int
+	// Barriers permits BAR instructions (callers running single warps
+	// should disable them).
+	Barriers bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Regs < 12 {
+		o.Regs = 16 // roles below need room: 6 fixed + scratch + 3 counters
+	}
+	if o.MaxBlocks == 0 {
+		o.MaxBlocks = 6
+	}
+	return o
+}
+
+// Program generates a random valid program from the seed.
+func Program(seed uint64, opts Options) *kernel.Program {
+	opts = opts.withDefaults()
+	rng := stats.NewRNG(seed)
+	b := kernel.NewBuilder("gen", opts.Regs)
+	g := &gen{rng: rng, b: b, opts: opts}
+	b.S2R(isa.R(0), isa.SRTid)
+	b.MOVI(isa.R(1), int32(rng.Intn(100)))
+	blocks := 2 + rng.Intn(opts.MaxBlocks-1)
+	for i := 0; i < blocks; i++ {
+		g.block(0)
+	}
+	b.EXIT()
+	return b.MustBuild()
+}
+
+type gen struct {
+	rng  *stats.RNG
+	b    *kernel.Builder
+	opts Options
+}
+
+// reg picks a register in [lo, hi).
+func (g *gen) reg(lo, hi int) isa.Reg { return isa.R(lo + g.rng.Intn(hi-lo)) }
+
+// instr emits one random data instruction. Register roles keep generated
+// programs terminating: R0/R1 hold the thread id and a constant, R2-R5
+// are loop-bound/address registers (only ever set to small values), and
+// the top three registers are loop counters, one per nesting depth.
+// Random destinations stay strictly inside the scratch range between
+// those groups; sources may read anything.
+func (g *gen) instr() {
+	dst := g.reg(6, g.opts.Regs-3)
+	a := g.reg(0, g.opts.Regs)
+	b2 := g.reg(0, g.opts.Regs)
+	c := g.reg(0, g.opts.Regs)
+	switch g.rng.Intn(13) {
+	case 0:
+		g.b.IADD(dst, a, b2)
+	case 1:
+		g.b.ISUB(dst, a, b2)
+	case 2:
+		g.b.IMAD(dst, a, b2, c)
+	case 3:
+		g.b.SHLI(dst, a, int32(g.rng.Intn(6)))
+	case 4:
+		g.b.ANDI(dst, a, int32(g.rng.Intn(256)))
+	case 5:
+		g.b.XOR(dst, a, b2)
+	case 6:
+		g.b.IMIN(dst, a, b2)
+	case 7:
+		g.b.FFMA(dst, a, b2, c)
+	case 8:
+		g.b.FADD(dst, a, b2)
+	case 9:
+		g.b.LDG(dst, g.reg(0, 4), int32(4*g.rng.Intn(8)))
+	case 10:
+		g.b.LDS(dst, g.reg(0, 4), int32(4*g.rng.Intn(8)))
+	case 11:
+		g.b.STG(g.reg(0, 4), int32(4*g.rng.Intn(8)), a)
+	case 12:
+		g.b.SHFL(dst, a, b2)
+	}
+}
+
+// block emits one structured region; depth bounds nesting. Barriers are
+// only legal in uniform control flow (as in CUDA), so they appear at
+// depth 0 only.
+func (g *gen) block(depth int) {
+	choices := 3
+	if g.opts.Barriers && depth == 0 {
+		choices = 4
+	}
+	if depth >= 2 {
+		choices = 1 // straight-line only at depth
+	}
+	switch g.rng.Intn(choices) {
+	case 0:
+		for i := 0; i < 1+g.rng.Intn(5); i++ {
+			g.instr()
+		}
+	case 1:
+		// Counted loop, possibly with a data-dependent bound. The
+		// counter register is fixed per nesting depth so inner loops
+		// can never reset an outer counter.
+		ctr := isa.R(g.opts.Regs - 3 + depth)
+		p := isa.P(g.rng.Intn(3))
+		if g.rng.Intn(3) == 0 {
+			// Divergent trip count from the thread id.
+			bound := g.reg(2, 6)
+			g.b.ANDI(bound, isa.R(0), int32(1+g.rng.Intn(7)))
+			g.b.RegCountedLoop(ctr, p, bound, func() {
+				g.block(depth + 1)
+			})
+		} else {
+			g.b.CountedLoop(ctr, p, int32(1+g.rng.Intn(6)), func() {
+				g.block(depth + 1)
+			})
+		}
+	case 2:
+		p := isa.P(g.rng.Intn(3))
+		g.b.SETPI(p, g.reg(0, 8), isa.CmpOp(g.rng.Intn(6)), int32(g.rng.Intn(64)))
+		if g.rng.Intn(2) == 0 {
+			g.b.If(p, g.rng.Intn(2) == 0, func() { g.block(depth + 1) })
+		} else {
+			g.b.IfElse(p,
+				func() { g.block(depth + 1) },
+				func() { g.block(depth + 1) },
+			)
+		}
+	case 3:
+		g.b.BAR()
+	}
+}

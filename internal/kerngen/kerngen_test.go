@@ -1,0 +1,92 @@
+package kerngen
+
+import (
+	"testing"
+
+	"pilotrf/internal/cfg"
+	"pilotrf/internal/kernel"
+	"pilotrf/internal/ref"
+	"pilotrf/internal/sim"
+)
+
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	for seed := uint64(1); seed <= 300; seed++ {
+		p := Program(seed, Options{})
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := cfg.CheckReconvergence(p); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratedProgramsVary(t *testing.T) {
+	a := Program(1, Options{})
+	b := Program(2, Options{})
+	if a.Len() == b.Len() && a.Disassemble() == b.Disassemble() {
+		t.Error("different seeds produced identical programs")
+	}
+	a2 := Program(1, Options{})
+	if a.Disassemble() != a2.Disassemble() {
+		t.Error("same seed produced different programs")
+	}
+}
+
+func TestBarrierOption(t *testing.T) {
+	// With barriers disabled no BAR may appear.
+	for seed := uint64(1); seed <= 50; seed++ {
+		p := Program(seed, Options{Barriers: false})
+		for pc := range p.Instrs {
+			if p.At(pc).Op.String() == "BAR" {
+				t.Fatalf("seed %d: BAR emitted despite Barriers=false", seed)
+			}
+		}
+	}
+}
+
+// The fuzz-style differential test: for hundreds of random programs, the
+// timed simulator and the reference interpreter must agree exactly on
+// every functional count.
+func TestDifferentialFuzz(t *testing.T) {
+	cfgSim := sim.DefaultConfig()
+	cfgSim.NumSMs = 1
+	seeds := 150
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		// Barriers need all warps resident; keep one CTA of 2 warps.
+		p := Program(seed, Options{Barriers: true})
+		k := &kernel.Kernel{Prog: p, ThreadsPerCTA: 64, NumCTAs: 2}
+
+		g, err := sim.New(cfgSim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simKS, err := g.RunKernel(k)
+		if err != nil {
+			t.Fatalf("seed %d: sim: %v\n%s", seed, err, p.Disassemble())
+		}
+		refRes, err := ref.Run(k, cfgSim.Seed)
+		if err != nil {
+			t.Fatalf("seed %d: ref: %v\n%s", seed, err, p.Disassemble())
+		}
+		if simKS.WarpInstrs != refRes.WarpInstrs ||
+			simKS.ThreadInstrs != refRes.ThreadInstrs ||
+			simKS.RegReads != refRes.RegReads ||
+			simKS.RegWrites != refRes.RegWrites {
+			t.Fatalf("seed %d: sim=%d/%d/%d/%d ref=%d/%d/%d/%d\n%s",
+				seed,
+				simKS.WarpInstrs, simKS.ThreadInstrs, simKS.RegReads, simKS.RegWrites,
+				refRes.WarpInstrs, refRes.ThreadInstrs, refRes.RegReads, refRes.RegWrites,
+				p.Disassemble())
+		}
+		for reg := 0; reg < p.NumRegs; reg++ {
+			if simKS.RegHist.Count(reg) != refRes.RegHist.Count(reg) {
+				t.Fatalf("seed %d: R%d sim=%d ref=%d", seed, reg,
+					simKS.RegHist.Count(reg), refRes.RegHist.Count(reg))
+			}
+		}
+	}
+}

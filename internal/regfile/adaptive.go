@@ -1,0 +1,90 @@
+package regfile
+
+import "fmt"
+
+// AdaptiveConfig parameterizes the FRF power-mode phase detector: a 9-bit
+// counter tallies warp issues per epoch; if an epoch issues fewer than
+// Threshold instructions the next epoch runs the FRF in low-power
+// (back-gate disabled) mode.
+type AdaptiveConfig struct {
+	// EpochCycles is the epoch length (50 cycles in the paper).
+	EpochCycles int
+	// Threshold is the issued-instruction count below which the next
+	// epoch is treated as a low-compute phase (85 of a possible 400 in
+	// the paper's 8-issue machine).
+	Threshold int
+	// MaxIssuePerCycle bounds the counter (8 in the Kepler config);
+	// used to derive thresholds expressed as ratios.
+	MaxIssuePerCycle int
+}
+
+// DefaultAdaptiveConfig returns the paper's preferred settings: 50-cycle
+// epochs, threshold 85 of 400 issue slots (about 20%).
+func DefaultAdaptiveConfig() AdaptiveConfig {
+	return AdaptiveConfig{EpochCycles: 50, Threshold: 85, MaxIssuePerCycle: 8}
+}
+
+// WithThresholdRatio returns the config with Threshold set to ratio x
+// EpochCycles x MaxIssuePerCycle, the parameterization used in the
+// paper's epoch-length sensitivity study (20% across all lengths).
+func (c AdaptiveConfig) WithThresholdRatio(ratio float64) AdaptiveConfig {
+	c.Threshold = int(ratio * float64(c.EpochCycles*c.MaxIssuePerCycle))
+	return c
+}
+
+// AdaptiveFRF is the epoch-based phase detector controlling the FRF's
+// back-gate mode.
+type AdaptiveFRF struct {
+	cfg          AdaptiveConfig
+	cycleInEpoch int
+	issued       int
+	lowPower     bool
+
+	// Statistics.
+	lowEpochs, totalEpochs int
+}
+
+// NewAdaptiveFRF returns a controller starting in high-power mode.
+func NewAdaptiveFRF(cfg AdaptiveConfig) *AdaptiveFRF {
+	if cfg.EpochCycles <= 0 {
+		panic(fmt.Sprintf("regfile: epoch of %d cycles", cfg.EpochCycles))
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > cfg.EpochCycles*cfg.MaxIssuePerCycle {
+		panic(fmt.Sprintf("regfile: threshold %d outside [0,%d]", cfg.Threshold, cfg.EpochCycles*cfg.MaxIssuePerCycle))
+	}
+	return &AdaptiveFRF{cfg: cfg}
+}
+
+// OnIssue records n instructions issued this cycle.
+func (a *AdaptiveFRF) OnIssue(n int) { a.issued += n }
+
+// Tick advances one cycle; at each epoch boundary the next epoch's mode is
+// decided from this epoch's issue count.
+func (a *AdaptiveFRF) Tick() {
+	a.cycleInEpoch++
+	if a.cycleInEpoch < a.cfg.EpochCycles {
+		return
+	}
+	a.lowPower = a.issued < a.cfg.Threshold
+	a.totalEpochs++
+	if a.lowPower {
+		a.lowEpochs++
+	}
+	a.cycleInEpoch = 0
+	a.issued = 0
+}
+
+// LowPower reports whether the FRF currently runs in low-power mode.
+func (a *AdaptiveFRF) LowPower() bool { return a.lowPower }
+
+// LowEpochFraction returns the fraction of completed epochs spent in
+// low-power mode.
+func (a *AdaptiveFRF) LowEpochFraction() float64 {
+	if a.totalEpochs == 0 {
+		return 0
+	}
+	return float64(a.lowEpochs) / float64(a.totalEpochs)
+}
+
+// Config returns the controller's configuration.
+func (a *AdaptiveFRF) Config() AdaptiveConfig { return a.cfg }

@@ -1,0 +1,198 @@
+package regfile
+
+import (
+	"fmt"
+
+	"pilotrf/internal/isa"
+)
+
+// Partition identifies the physical structure (and power mode) that
+// services a register access; the energy model prices each differently.
+type Partition uint8
+
+// Partitions.
+const (
+	PartMRF Partition = iota
+	PartFRFHigh
+	PartFRFLow
+	PartSRF
+)
+
+// String returns the partition name.
+func (p Partition) String() string {
+	switch p {
+	case PartMRF:
+		return "MRF"
+	case PartFRFHigh:
+		return "FRF_high"
+	case PartFRFLow:
+		return "FRF_low"
+	case PartSRF:
+		return "SRF"
+	default:
+		return fmt.Sprintf("PART_%d", uint8(p))
+	}
+}
+
+// Design selects the register file organization under evaluation.
+type Design uint8
+
+// Register file designs.
+const (
+	// DesignMonolithicSTV is the performance baseline: one 256 KB MRF
+	// at super-threshold voltage, 1-cycle access.
+	DesignMonolithicSTV Design = iota
+	// DesignMonolithicNTV is the power-aggressive baseline: the MRF at
+	// near-threshold voltage, 3-cycle access.
+	DesignMonolithicNTV
+	// DesignPartitioned is the paper's FRF+SRF split without the
+	// adaptive FRF mode (FRF always high-power).
+	DesignPartitioned
+	// DesignPartitionedAdaptive adds the back-gate controlled FRF
+	// low-power mode driven by the epoch phase detector.
+	DesignPartitionedAdaptive
+)
+
+// String returns the design name.
+func (d Design) String() string {
+	switch d {
+	case DesignMonolithicSTV:
+		return "MRF@STV"
+	case DesignMonolithicNTV:
+		return "MRF@NTV"
+	case DesignPartitioned:
+		return "Partitioned"
+	case DesignPartitionedAdaptive:
+		return "Partitioned+AdaptiveFRF"
+	default:
+		return fmt.Sprintf("DESIGN_%d", uint8(d))
+	}
+}
+
+// Latencies holds per-partition access latencies in cycles. The defaults
+// come from the FinCACTI access-time analysis (fincacti.AccessCycles).
+type Latencies struct {
+	MRF     int // monolithic at its operating voltage
+	FRFHigh int
+	FRFLow  int
+	SRF     int
+}
+
+// DefaultLatenciesSTV returns baseline latencies with the MRF at STV.
+func DefaultLatenciesSTV() Latencies {
+	return Latencies{MRF: 1, FRFHigh: 1, FRFLow: 2, SRF: 3}
+}
+
+// DefaultLatenciesNTV returns latencies with the MRF at NTV.
+func DefaultLatenciesNTV() Latencies {
+	return Latencies{MRF: 3, FRFHigh: 1, FRFLow: 2, SRF: 3}
+}
+
+// Config describes a register file instance for one SM.
+type Config struct {
+	Design Design
+	// FRFRegs is the number of registers per thread held in the FRF
+	// (n = 4 in the paper: 4 x 64 warps x 128 B = 32 KB).
+	FRFRegs int
+	// Banks is the number of RF banks (24 in the Kepler config).
+	Banks int
+	Lat   Latencies
+	// Adaptive configures the FRF power-mode controller; only used by
+	// DesignPartitionedAdaptive.
+	Adaptive AdaptiveConfig
+}
+
+// DefaultConfig returns the paper's preferred configuration for a design.
+func DefaultConfig(d Design) Config {
+	lat := DefaultLatenciesSTV()
+	if d == DesignMonolithicNTV {
+		lat = DefaultLatenciesNTV()
+	}
+	return Config{
+		Design:   d,
+		FRFRegs:  4,
+		Banks:    24,
+		Lat:      lat,
+		Adaptive: DefaultAdaptiveConfig(),
+	}
+}
+
+// File is one SM's register file: routing, swapping table, and the
+// adaptive mode controller. It is purely a control model — simulated
+// threads keep their values in the simulator; File decides which physical
+// partition each access touches and how long it takes.
+type File struct {
+	cfg      Config
+	mapper   Mapper
+	adaptive *AdaptiveFRF
+}
+
+// New returns a register file in the given configuration, using the
+// CAM-based swapping table.
+func New(cfg Config) *File {
+	if cfg.Banks <= 0 {
+		panic("regfile: no banks")
+	}
+	if cfg.FRFRegs <= 0 && (cfg.Design == DesignPartitioned || cfg.Design == DesignPartitionedAdaptive) {
+		panic("regfile: partitioned design with empty FRF")
+	}
+	f := &File{
+		cfg:    cfg,
+		mapper: NewSwapTable(maxInt(cfg.FRFRegs, 1)),
+	}
+	if cfg.Design == DesignPartitionedAdaptive {
+		f.adaptive = NewAdaptiveFRF(cfg.Adaptive)
+	}
+	return f
+}
+
+// Config returns the file's configuration.
+func (f *File) Config() Config { return f.cfg }
+
+// Mapper exposes the swapping table for profiling-driven reconfiguration.
+func (f *File) Mapper() Mapper { return f.mapper }
+
+// Adaptive returns the FRF mode controller, or nil for non-adaptive
+// designs.
+func (f *File) Adaptive() *AdaptiveFRF { return f.adaptive }
+
+// Partitioned reports whether the design splits the RF into FRF and SRF.
+func (f *File) Partitioned() bool {
+	return f.cfg.Design == DesignPartitioned || f.cfg.Design == DesignPartitionedAdaptive
+}
+
+// Route returns the partition servicing an access to architected register
+// r and the access latency in cycles. For partitioned designs the
+// swapping table is consulted; physical registers below FRFRegs live in
+// the FRF, the rest in the SRF. The access never touches both partitions.
+func (f *File) Route(r isa.Reg) (Partition, int) {
+	switch f.cfg.Design {
+	case DesignMonolithicSTV, DesignMonolithicNTV:
+		return PartMRF, f.cfg.Lat.MRF
+	}
+	phys := f.mapper.Lookup(r)
+	if int(phys) < f.cfg.FRFRegs {
+		if f.adaptive != nil && f.adaptive.LowPower() {
+			return PartFRFLow, f.cfg.Lat.FRFLow
+		}
+		return PartFRFHigh, f.cfg.Lat.FRFHigh
+	}
+	return PartSRF, f.cfg.Lat.SRF
+}
+
+// PhysicalReg returns the physical location of architected register r
+// (identity for monolithic designs).
+func (f *File) PhysicalReg(r isa.Reg) isa.Reg {
+	if !f.Partitioned() {
+		return r
+	}
+	return f.mapper.Lookup(r)
+}
+
+// BankOf returns the bank servicing physical register phys of warp w.
+// Registers are striped across banks with the warp id as an offset so
+// consecutive registers of a warp, and the same register of consecutive
+// warps, land in different banks — the standard GPU RF layout.
+func (f *File) BankOf(warp int, phys isa.Reg) int {
+	return (warp + int(phys)) % f.cfg.Banks
+}

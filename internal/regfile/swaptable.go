@@ -1,0 +1,166 @@
+// Package regfile implements the register file organizations evaluated in
+// the paper: the monolithic MRF (at STV or NTV), and the partitioned
+// FRF+SRF design with its register swapping table and the adaptive
+// (back-gate controlled) FRF power-mode controller.
+package regfile
+
+import (
+	"fmt"
+
+	"pilotrf/internal/isa"
+)
+
+// Mapper translates an architected register number to its current physical
+// location. Registers outside the swapped set map to themselves.
+type Mapper interface {
+	// Lookup returns the physical register holding architected register r.
+	Lookup(r isa.Reg) isa.Reg
+	// Configure installs a mapping that places topRegs (ordered by
+	// access count, most-accessed first) into the FRF slots [0, frfRegs).
+	Configure(topRegs []isa.Reg, frfRegs int)
+	// Reset restores the identity mapping.
+	Reset()
+}
+
+// SwapEntry is one row of the swapping table: a valid bit, the architected
+// register, and its current physical location (13 bits in hardware: 6+6+1).
+type SwapEntry struct {
+	Valid  bool
+	Orig   isa.Reg
+	Mapped isa.Reg
+}
+
+// SwapTable is the CAM-based register swapping table: 2n entries for a
+// top-n register set (n displaced FRF residents plus n promoted
+// registers). It is configured once per kernel phase (compiler seed, then
+// pilot result), so hardware replicates it per scheduler without
+// consistency concerns; the model therefore keeps a single instance.
+type SwapTable struct {
+	entries []SwapEntry
+}
+
+// NewSwapTable returns a swapping table with capacity for topN promoted
+// registers (2*topN entries).
+func NewSwapTable(topN int) *SwapTable {
+	if topN <= 0 {
+		panic(fmt.Sprintf("regfile: swap table for top-%d registers", topN))
+	}
+	return &SwapTable{entries: make([]SwapEntry, 0, 2*topN)}
+}
+
+// Reset invalidates every entry, restoring the identity mapping.
+func (t *SwapTable) Reset() { t.entries = t.entries[:0] }
+
+// Configure installs the mapping for topRegs. Per the paper, the mapping
+// is always applied on top of the default (identity) layout: callers see
+// the table reset first, then pairwise swaps between promoted registers
+// and the default FRF residents they displace. Registers in topRegs that
+// already live in the FRF (index < frfRegs) keep their slot and consume
+// no table entries.
+func (t *SwapTable) Configure(topRegs []isa.Reg, frfRegs int) {
+	t.Reset()
+	if len(topRegs) > frfRegs {
+		panic(fmt.Sprintf("regfile: %d top registers exceed FRF capacity %d", len(topRegs), frfRegs))
+	}
+	// FRF slots not claimed by an already-resident top register are free
+	// to host promoted registers.
+	claimed := make(map[isa.Reg]bool, len(topRegs))
+	for _, r := range topRegs {
+		if int(r) < frfRegs {
+			claimed[r] = true
+		}
+	}
+	slot := isa.Reg(0)
+	nextFree := func() isa.Reg {
+		for claimed[slot] {
+			slot++
+		}
+		s := slot
+		slot++
+		return s
+	}
+	for _, r := range topRegs {
+		if !r.Valid() {
+			panic(fmt.Sprintf("regfile: cannot promote %s", r))
+		}
+		if int(r) < frfRegs {
+			continue // already resident
+		}
+		s := nextFree()
+		// Arch s now lives where r used to, and r lives in slot s.
+		t.entries = append(t.entries,
+			SwapEntry{Valid: true, Orig: s, Mapped: r},
+			SwapEntry{Valid: true, Orig: r, Mapped: s},
+		)
+	}
+}
+
+// Lookup CAM-searches the table for r; absent registers map to themselves.
+func (t *SwapTable) Lookup(r isa.Reg) isa.Reg {
+	for i := range t.entries {
+		if t.entries[i].Valid && t.entries[i].Orig == r {
+			return t.entries[i].Mapped
+		}
+	}
+	return r
+}
+
+// Entries returns a copy of the current table contents (for inspection
+// and the Figure 7 walkthrough).
+func (t *SwapTable) Entries() []SwapEntry {
+	out := make([]SwapEntry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// Bits returns the table's storage cost in bits: 13 bits per entry at the
+// table's capacity (6-bit original id, 6-bit mapped id, 1 valid bit).
+func (t *SwapTable) Bits() int { return cap(t.entries) * 13 }
+
+// IndexedSwapTable is the direct-indexed alternative the paper also
+// evaluated: a 63-entry RAM indexed by architected register number. Its
+// behaviour is identical to the CAM design (the paper found the energy
+// difference negligible); both are provided so the equivalence is testable.
+type IndexedSwapTable struct {
+	mapping [isa.MaxRegs]isa.Reg
+}
+
+// NewIndexedSwapTable returns an identity-mapped indexed table.
+func NewIndexedSwapTable() *IndexedSwapTable {
+	t := &IndexedSwapTable{}
+	t.Reset()
+	return t
+}
+
+// Reset restores the identity mapping.
+func (t *IndexedSwapTable) Reset() {
+	for i := range t.mapping {
+		t.mapping[i] = isa.Reg(i)
+	}
+}
+
+// Configure installs the mapping for topRegs (see SwapTable.Configure).
+func (t *IndexedSwapTable) Configure(topRegs []isa.Reg, frfRegs int) {
+	t.Reset()
+	// Reuse the CAM algorithm to guarantee identical placement.
+	cam := NewSwapTable(maxInt(len(topRegs), 1))
+	cam.Configure(topRegs, frfRegs)
+	for _, e := range cam.Entries() {
+		t.mapping[e.Orig] = e.Mapped
+	}
+}
+
+// Lookup returns the physical register for r.
+func (t *IndexedSwapTable) Lookup(r isa.Reg) isa.Reg {
+	if !r.Valid() {
+		return r
+	}
+	return t.mapping[r]
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

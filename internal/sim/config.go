@@ -1,0 +1,231 @@
+// Package sim is a cycle-level GPU timing simulator specialized for
+// register file studies: streaming multiprocessors with warp contexts,
+// SIMT divergence stacks, scoreboards, GTO/LRR/two-level warp schedulers,
+// operand collectors arbitrating over banked register files, execution
+// pipelines, a latency/bandwidth memory model, CTA scheduling, and the
+// pilot-warp profiling hardware of the paper.
+//
+// The simulator is functional-first: instruction semantics execute at
+// issue time (so loop trip counts, divergence, and register access counts
+// are exact), while operand collection, bank arbitration, execution
+// latency, and writeback model timing. Fetch/decode and the cache
+// hierarchy are abstracted (a resident warp always has its next
+// instruction; global memory is a fixed-latency, bounded-bandwidth
+// stream), which is the standard configuration for RF-focused studies.
+package sim
+
+import (
+	"fmt"
+
+	"pilotrf/internal/isa"
+	"pilotrf/internal/profile"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/rfc"
+)
+
+// Policy selects the warp scheduling policy.
+type Policy uint8
+
+// Warp scheduler policies.
+const (
+	// PolicyLRR is loose round-robin (the "fetch group" baseline).
+	PolicyLRR Policy = iota
+	// PolicyGTO is greedy-then-oldest.
+	PolicyGTO
+	// PolicyTL is the two-level scheduler of the RFC design: a small
+	// active pool scheduled round-robin; warps demote on long-latency
+	// operations and promote when their memory returns.
+	PolicyTL
+	// PolicyFetchGroup is Narasiman et al.'s two-level warp scheduler:
+	// warps are split into fetch groups scheduled round-robin within
+	// the group; the scheduler only moves to the next group when the
+	// current one has nothing to issue, staggering long-latency
+	// operations across groups.
+	PolicyFetchGroup
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLRR:
+		return "LRR"
+	case PolicyGTO:
+		return "GTO"
+	case PolicyTL:
+		return "TL"
+	case PolicyFetchGroup:
+		return "FetchGroup"
+	default:
+		return fmt.Sprintf("POLICY_%d", uint8(p))
+	}
+}
+
+// Config describes the simulated GPU. DefaultConfig follows the paper's
+// Table II (Kepler GTX 780-class SM) with a reduced SM count for
+// simulation speed; KeplerConfig restores the full 15-SM chip.
+type Config struct {
+	// NumSMs is the number of streaming multiprocessors.
+	NumSMs int
+	// WarpSlotsPerSM is the maximum resident warps per SM (64).
+	WarpSlotsPerSM int
+	// MaxCTAsPerSM bounds concurrent CTAs per SM (16).
+	MaxCTAsPerSM int
+	// WarpRegBudget is the number of warp-register slots in the RF
+	// (256 KB / 128 B = 2048), a CTA residency limit.
+	WarpRegBudget int
+	// Schedulers is the number of warp schedulers per SM (4).
+	Schedulers int
+	// IssuePerScheduler is the dual-issue width per scheduler (2).
+	IssuePerScheduler int
+	// OperandCollectors is the number of collector units per SM (24).
+	OperandCollectors int
+
+	// Policy selects the warp scheduler.
+	Policy Policy
+	// TLActiveWarps is the two-level scheduler's total active pool per
+	// SM (split evenly among schedulers).
+	TLActiveWarps int
+	// FetchGroupWarps is the fetch-group size per scheduler for
+	// PolicyFetchGroup (default 4).
+	FetchGroupWarps int
+
+	// RF configures the register file design under evaluation.
+	RF regfile.Config
+
+	// Profiling selects the FRF management technique; TopN is the
+	// number of promoted registers (4).
+	Profiling profile.Technique
+	ProfTopN  int
+	// PilotWarpIndex selects which warp of the first CTA launched on
+	// each SM becomes the pilot (0 = the first, the paper's choice;
+	// Section III-A2 argues any warp works, which the pilot-choice
+	// sensitivity experiment verifies).
+	PilotWarpIndex int
+	// Oracle supplies the measured top registers for
+	// profile.TechniqueOracle (from a prior run).
+	Oracle []isa.Reg
+
+	// UseRFC replaces the partitioned/monolithic access path with a
+	// register file cache in front of the MRF.
+	UseRFC bool
+	// RFC sizes the cache (per active warp).
+	RFC rfc.Config
+	// RFCMRFLatency is the access latency of the MRF behind the RFC
+	// (1 at STV, 3 at NTV).
+	RFCMRFLatency int
+
+	// Execution latencies in cycles.
+	ALULatency    int
+	FPULatency    int
+	SFULatency    int
+	BranchLatency int
+	SharedLatency int
+	MemLatency    int
+	// MaxMemInflight bounds concurrent global-memory transactions per
+	// SM (the bandwidth model).
+	MaxMemInflight int
+
+	// WritebackForwarding bypasses results to dependent instructions as
+	// soon as execution completes, instead of waiting for the register
+	// write to retire through the banks. GPGPU-Sim models this
+	// forwarding; leaving it off makes the pipeline more sensitive to
+	// RF latency (the divergence EXPERIMENTS.md documents). The bank
+	// write still occurs for energy and bank-occupancy accounting.
+	WritebackForwarding bool
+
+	// CollectPerWarpCTAs enables per-warp register histograms for the
+	// first N CTAs (the Section II access-similarity analysis).
+	CollectPerWarpCTAs int
+
+	// Tracer, when set, receives pipeline events (issue, bank access,
+	// dispatch, writeback, memory, CTA/warp lifecycle, FRF mode
+	// switches). Nil disables tracing with no overhead.
+	Tracer Tracer
+
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+
+	// Seed drives the deterministic memory-content hash (and thus
+	// data-dependent divergence).
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's SM configuration (Table II) with two
+// SMs — the simulation default used throughout the experiments; per-SM
+// behaviour, which is everything the paper reports, is unaffected by the
+// chip-level SM count.
+func DefaultConfig() Config {
+	return Config{
+		NumSMs:             2,
+		WarpSlotsPerSM:     64,
+		MaxCTAsPerSM:       16,
+		WarpRegBudget:      2048,
+		Schedulers:         4,
+		IssuePerScheduler:  2,
+		OperandCollectors:  24,
+		Policy:             PolicyGTO,
+		TLActiveWarps:      8,
+		FetchGroupWarps:    4,
+		RF:                 regfile.DefaultConfig(regfile.DesignMonolithicSTV),
+		Profiling:          profile.TechniqueHybrid,
+		ProfTopN:           4,
+		RFCMRFLatency:      1,
+		ALULatency:         4,
+		FPULatency:         4,
+		SFULatency:         16,
+		BranchLatency:      4,
+		SharedLatency:      24,
+		MemLatency:         200,
+		MaxMemInflight:     48,
+		CollectPerWarpCTAs: 0,
+		MaxCycles:          200_000_000,
+		Seed:               1,
+	}
+}
+
+// KeplerConfig returns the full GTX 780 chip (15 SMs).
+func KeplerConfig() Config {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 15
+	return cfg
+}
+
+// WithDesign returns the config reconfigured for an RF design, adjusting
+// the MRF latency consistently.
+func (c Config) WithDesign(d regfile.Design) Config {
+	c.RF = regfile.DefaultConfig(d)
+	if d == regfile.DesignMonolithicNTV {
+		c.RFCMRFLatency = 3
+	}
+	return c
+}
+
+// Validate checks structural invariants.
+func (c *Config) Validate() error {
+	switch {
+	case c.NumSMs <= 0:
+		return fmt.Errorf("sim: %d SMs", c.NumSMs)
+	case c.Schedulers <= 0 || c.IssuePerScheduler <= 0:
+		return fmt.Errorf("sim: schedulers %d x issue %d", c.Schedulers, c.IssuePerScheduler)
+	case c.WarpSlotsPerSM <= 0 || c.WarpSlotsPerSM%c.Schedulers != 0:
+		return fmt.Errorf("sim: %d warp slots not divisible by %d schedulers", c.WarpSlotsPerSM, c.Schedulers)
+	case c.OperandCollectors <= 0:
+		return fmt.Errorf("sim: %d operand collectors", c.OperandCollectors)
+	case c.MemLatency <= 0 || c.MaxMemInflight <= 0:
+		return fmt.Errorf("sim: memory latency %d / inflight %d", c.MemLatency, c.MaxMemInflight)
+	case c.Policy == PolicyTL && c.TLActiveWarps < c.Schedulers:
+		return fmt.Errorf("sim: TL active pool %d smaller than %d schedulers", c.TLActiveWarps, c.Schedulers)
+	case c.Policy == PolicyFetchGroup && c.FetchGroupWarps <= 0:
+		return fmt.Errorf("sim: fetch group of %d warps", c.FetchGroupWarps)
+	case c.UseRFC && c.RFC.Warps <= 0:
+		return fmt.Errorf("sim: RFC enabled without warp storage")
+	case c.UseRFC && c.RF.Design != regfile.DesignMonolithicSTV && c.RF.Design != regfile.DesignMonolithicNTV:
+		return fmt.Errorf("sim: the RFC fronts a monolithic MRF, not a partitioned design")
+	case c.ProfTopN <= 0:
+		return fmt.Errorf("sim: profiling top-N %d", c.ProfTopN)
+	}
+	return nil
+}
+
+// MaxIssuePerCycle returns the SM's peak issue rate (8 in the paper).
+func (c *Config) MaxIssuePerCycle() int { return c.Schedulers * c.IssuePerScheduler }

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pilotrf/internal/isa"
+)
+
+// execute applies the functional semantics of in to the lanes in
+// execMask. Control-flow opcodes are handled by the issue path, not here.
+// The cross-lane SHFL snapshots its source first so destination writes
+// cannot corrupt values other lanes are still reading.
+func (s *sm) execute(w *warpCtx, in *isa.Instruction, execMask uint32) {
+	if in.Op == isa.OpSHFL {
+		executeShuffle(w.regs, in, execMask)
+		return
+	}
+	for lane := 0; lane < 32; lane++ {
+		if execMask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		s.executeLane(w, in, lane)
+	}
+}
+
+// executeShuffle implements the Kepler-style warp shuffle: each active
+// lane reads SrcA from the lane selected by its own SrcB (mod 32).
+func executeShuffle(regs [][32]uint32, in *isa.Instruction, execMask uint32) {
+	var src [32]uint32
+	if in.SrcA != isa.RZ {
+		src = regs[in.SrcA]
+	}
+	for lane := 0; lane < 32; lane++ {
+		if execMask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		sel := 0
+		if in.SrcB != isa.RZ {
+			sel = int(regs[in.SrcB][lane] & 31)
+		}
+		if in.Dst != isa.RZ {
+			regs[in.Dst][lane] = src[sel]
+		}
+	}
+}
+
+func (s *sm) executeLane(w *warpCtx, in *isa.Instruction, lane int) {
+	rd := func(r isa.Reg) uint32 {
+		if r == isa.RZ {
+			return 0
+		}
+		return w.regs[r][lane]
+	}
+	wr := func(v uint32) {
+		if in.Dst == isa.RZ {
+			return
+		}
+		w.regs[in.Dst][lane] = v
+	}
+	rdf := func(r isa.Reg) float32 { return math.Float32frombits(rd(r)) }
+	wrf := func(v float32) { wr(math.Float32bits(v)) }
+
+	switch in.Op {
+	case isa.OpNOP:
+	case isa.OpMOV:
+		wr(rd(in.SrcA))
+	case isa.OpMOVI:
+		wr(uint32(in.Imm))
+	case isa.OpS2R:
+		wr(s.specialValue(w, in.Special, lane))
+	case isa.OpIADD:
+		wr(rd(in.SrcA) + rd(in.SrcB))
+	case isa.OpIADDI:
+		wr(rd(in.SrcA) + uint32(in.Imm))
+	case isa.OpISUB:
+		wr(rd(in.SrcA) - rd(in.SrcB))
+	case isa.OpIMUL:
+		wr(rd(in.SrcA) * rd(in.SrcB))
+	case isa.OpIMULI:
+		wr(rd(in.SrcA) * uint32(in.Imm))
+	case isa.OpIMAD:
+		wr(rd(in.SrcA)*rd(in.SrcB) + rd(in.SrcC))
+	case isa.OpAND:
+		wr(rd(in.SrcA) & rd(in.SrcB))
+	case isa.OpANDI:
+		wr(rd(in.SrcA) & uint32(in.Imm))
+	case isa.OpOR:
+		wr(rd(in.SrcA) | rd(in.SrcB))
+	case isa.OpXOR:
+		wr(rd(in.SrcA) ^ rd(in.SrcB))
+	case isa.OpSHLI:
+		wr(rd(in.SrcA) << (uint32(in.Imm) & 31))
+	case isa.OpSHRI:
+		wr(rd(in.SrcA) >> (uint32(in.Imm) & 31))
+	case isa.OpIMIN:
+		a, b := int32(rd(in.SrcA)), int32(rd(in.SrcB))
+		if a < b {
+			wr(uint32(a))
+		} else {
+			wr(uint32(b))
+		}
+	case isa.OpIMAX:
+		a, b := int32(rd(in.SrcA)), int32(rd(in.SrcB))
+		if a > b {
+			wr(uint32(a))
+		} else {
+			wr(uint32(b))
+		}
+	case isa.OpSEL:
+		if w.preds[in.SrcPred]&(1<<uint(lane)) != 0 {
+			wr(rd(in.SrcA))
+		} else {
+			wr(rd(in.SrcB))
+		}
+	case isa.OpSETP:
+		s.setPred(w, in.PDst, lane, in.Cmp.Eval(int32(rd(in.SrcA)), int32(rd(in.SrcB))))
+	case isa.OpSETPI:
+		s.setPred(w, in.PDst, lane, in.Cmp.Eval(int32(rd(in.SrcA)), in.Imm))
+	case isa.OpFADD:
+		wrf(rdf(in.SrcA) + rdf(in.SrcB))
+	case isa.OpFMUL:
+		wrf(rdf(in.SrcA) * rdf(in.SrcB))
+	case isa.OpFFMA:
+		wrf(rdf(in.SrcA)*rdf(in.SrcB) + rdf(in.SrcC))
+	case isa.OpFRCP:
+		wrf(1 / rdf(in.SrcA))
+	case isa.OpFSQRT:
+		wrf(float32(math.Sqrt(math.Abs(float64(rdf(in.SrcA))))))
+	case isa.OpFEXP:
+		wrf(float32(math.Exp2(float64(rdf(in.SrcA)))))
+	case isa.OpLDG, isa.OpLDS:
+		wr(isa.MemValue(rd(in.SrcA)+uint32(in.Imm), s.cfg.Seed))
+	case isa.OpSTG, isa.OpSTS:
+		// Stores are timing/energy events only; see isa.MemValue.
+	default:
+		panic(fmt.Sprintf("sim: opcode %v reached the execution unit", in.Op))
+	}
+}
+
+func (s *sm) setPred(w *warpCtx, p isa.Pred, lane int, v bool) {
+	if !p.Valid() {
+		return // PT is read-only
+	}
+	bit := uint32(1) << uint(lane)
+	if v {
+		w.preds[p] |= bit
+	} else {
+		w.preds[p] &^= bit
+	}
+}
+
+// specialValue supplies S2R reads.
+func (s *sm) specialValue(w *warpCtx, sp isa.Special, lane int) uint32 {
+	switch sp {
+	case isa.SRTid:
+		return uint32(w.inCTA*32 + lane)
+	case isa.SRCTAid:
+		return uint32(w.cta.id)
+	case isa.SRNTid:
+		return uint32(s.run.kern.ThreadsPerCTA)
+	case isa.SRNCTAid:
+		return uint32(s.run.kern.NumCTAs)
+	case isa.SRLane:
+		return uint32(lane)
+	case isa.SRWarpID:
+		return uint32(w.inCTA)
+	default:
+		panic(fmt.Sprintf("sim: unknown special register %v", sp))
+	}
+}

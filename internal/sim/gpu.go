@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"fmt"
+
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+	"pilotrf/internal/stats"
+)
+
+// runState is the shared state of one kernel execution across SMs.
+type runState struct {
+	cfg   *Config
+	kern  *kernel.Kernel
+	stats *KernelStats
+
+	warpCounter int
+	nextCTA     int
+}
+
+func (r *runState) nextWarpID() int {
+	id := r.warpCounter
+	r.warpCounter++
+	return id
+}
+
+// registerWarpHist enables per-warp access collection for a warp.
+func (r *runState) registerWarpHist(globalID, numRegs int) {
+	if r.stats.PerWarpHist == nil {
+		r.stats.PerWarpHist = make(map[int]*stats.Histogram)
+	}
+	r.stats.PerWarpHist[globalID] = stats.NewHistogram(numRegs)
+}
+
+// countRegAccess records one warp-level operand access.
+func (r *runState) countRegAccess(globalID int, reg isa.Reg) {
+	r.stats.RegHist.Inc(int(reg))
+	if h, ok := r.stats.PerWarpHist[globalID]; ok {
+		h.Inc(int(reg))
+	}
+}
+
+// ctaDone is called when an SM retires a CTA; the SM immediately pulls
+// the next CTA from the grid if any remain.
+func (r *runState) ctaDone(s *sm) {
+	if r.nextCTA < r.kern.NumCTAs && s.freeWarpSlots() >= r.kern.WarpsPerCTA() && s.residentCTAs < s.ctaCapacity() {
+		s.launchCTA(r.nextCTA)
+		r.nextCTA++
+	}
+}
+
+// GPU is the simulated chip.
+type GPU struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a GPU.
+func New(cfg Config) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GPU{cfg: cfg}, nil
+}
+
+// Config returns the GPU configuration.
+func (g *GPU) Config() Config { return g.cfg }
+
+// RunKernel executes one kernel to completion and returns its statistics.
+// SM state (pipelines, profiling hardware, swapping tables) is fresh per
+// kernel, matching the paper's per-kernel profiling lifecycle.
+func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
+	if err := k.Validate(); err != nil {
+		return KernelStats{}, err
+	}
+	ks := KernelStats{
+		Name:    k.Prog.Name,
+		RegHist: stats.NewHistogram(k.Prog.NumRegs),
+	}
+	run := &runState{cfg: &g.cfg, kern: k, stats: &ks}
+
+	sms := make([]*sm, g.cfg.NumSMs)
+	for i := range sms {
+		sms[i] = newSM(i, &g.cfg, run)
+		if sms[i].ctaCapacity() < 1 {
+			return ks, fmt.Errorf("sim: kernel %s does not fit on an SM (regs %d x warps %d)",
+				k.Prog.Name, k.Prog.NumRegs, k.WarpsPerCTA())
+		}
+	}
+
+	// Initial CTA fill, round-robin across SMs (breadth-first, as the
+	// hardware CTA scheduler does).
+	for filled := true; filled && run.nextCTA < k.NumCTAs; {
+		filled = false
+		for _, s := range sms {
+			if run.nextCTA >= k.NumCTAs {
+				break
+			}
+			if s.residentCTAs < s.ctaCapacity() && s.freeWarpSlots() >= k.WarpsPerCTA() {
+				s.launchCTA(run.nextCTA)
+				run.nextCTA++
+				filled = true
+			}
+		}
+	}
+
+	var cycle int64
+	for {
+		busy := false
+		for _, s := range sms {
+			if s.busy() {
+				busy = true
+				s.tick()
+			}
+		}
+		if !busy {
+			break
+		}
+		cycle++
+		if cycle > g.cfg.MaxCycles {
+			return ks, fmt.Errorf("sim: kernel %s exceeded %d cycles (deadlock?)", k.Prog.Name, g.cfg.MaxCycles)
+		}
+	}
+
+	ks.Cycles = cycle
+	ks.IssueSlots = uint64(cycle) * uint64(g.cfg.MaxIssuePerCycle()) * uint64(g.cfg.NumSMs)
+
+	// Pilot fraction and adaptive statistics, averaged over SMs.
+	var pilotFracs, lowFracs []float64
+	for _, s := range sms {
+		if s.ranPilot && cycle > 0 {
+			pilotFracs = append(pilotFracs, float64(s.pilotFinish)/float64(cycle))
+		}
+		if a := s.rf.Adaptive(); a != nil {
+			lowFracs = append(lowFracs, a.LowEpochFraction())
+		}
+		if s.rfcCache != nil {
+			cs := s.rfcCache.Stats()
+			ks.RFC.ReadHits += cs.ReadHits
+			ks.RFC.ReadMiss += cs.ReadMiss
+			ks.RFC.Writes += cs.Writes
+			ks.RFC.Fills += cs.Fills
+			ks.RFC.Evictions += cs.Evictions
+			ks.RFC.DirtyWB += cs.DirtyWB
+			ks.RFC.TagChecks += cs.TagChecks
+			ks.RFC.Flushes += cs.Flushes
+		}
+	}
+	ks.PilotFraction = stats.Mean(pilotFracs)
+	ks.LowEpochFraction = stats.Mean(lowFracs)
+	return ks, nil
+}
+
+// RunKernels executes a sequence of kernels (a workload) back to back.
+func (g *GPU) RunKernels(name string, kernels []kernel.Kernel) (RunStats, error) {
+	rs := RunStats{Workload: name}
+	for i := range kernels {
+		ks, err := g.RunKernel(&kernels[i])
+		if err != nil {
+			return rs, fmt.Errorf("kernel %d: %w", i, err)
+		}
+		rs.Kernels = append(rs.Kernels, ks)
+	}
+	return rs, nil
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"container/heap"
+
+	"pilotrf/internal/isa"
+	"pilotrf/internal/regfile"
+)
+
+// event is a scheduled callback in the SM's timing model.
+type event struct {
+	cycle int64
+	seq   uint64 // tie-break for deterministic ordering
+	fn    func()
+}
+
+type eventHeap []event
+
+// Len implements heap.Interface.
+func (h eventHeap) Len() int { return len(h) }
+
+// Less implements heap.Interface (earlier cycle first, then arrival).
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+
+// Swap implements heap.Interface.
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+
+// Pop implements heap.Interface.
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// bankReq is one register file bank transaction.
+type bankReq struct {
+	warp    *warpCtx
+	arch    isa.Reg // architected register (for routing stats)
+	phys    isa.Reg // physical register (fixes the bank)
+	isWrite bool
+	col     *collectorUnit // collector awaiting this read; nil for writes
+	// onDone runs when the transaction completes (writeback bookkeeping).
+	onDone func()
+}
+
+// bankState is one RF bank: a FIFO of requests served one at a time; the
+// service latency depends on the partition (FRF/SRF/MRF) and, for the
+// FRF, on the adaptive power mode at service time.
+type bankState struct {
+	queue     []bankReq
+	busyUntil int64
+}
+
+// collectorUnit buffers one issued instruction while its source operands
+// are gathered from the banks (or the RFC).
+type collectorUnit struct {
+	warp         *warpCtx
+	in           *isa.Instruction
+	execMask     uint32
+	pendingReads int
+	// readyAt delays dispatch until the given cycle even when no bank
+	// reads are pending — the RFC's own read stage.
+	readyAt int64
+}
+
+// memUnit is the SM's global-memory interface: fixed latency with a
+// bounded number of in-flight transactions.
+type memUnit struct {
+	inflight int
+	waiting  []func() // transactions waiting for a slot
+}
+
+// tickBanks advances every bank: each bank accepts one request per cycle
+// (the arrays are pipelined, so a slow NTV partition costs access LATENCY
+// on dependency chains, not bank throughput — the premise behind the
+// paper's 7.1% NTV slowdown); the requested data becomes available after
+// the partition's access latency.
+func (s *sm) tickBanks() {
+	for b := range s.banks {
+		bank := &s.banks[b]
+		if bank.busyUntil > s.now || len(bank.queue) == 0 {
+			continue
+		}
+		req := bank.queue[0]
+		copy(bank.queue, bank.queue[1:])
+		bank.queue = bank.queue[:len(bank.queue)-1]
+
+		part, lat := s.routeAccess(req)
+		s.countPartAccess(part)
+		if s.cfg.Tracer != nil {
+			kind := "read"
+			if req.isWrite {
+				kind = "write"
+			}
+			s.trace(TraceBankAccess, req.warp.slot, -1, "bank %d %s %s -> %s (%d cyc)",
+				b, kind, req.arch, part, lat)
+		}
+		bank.busyUntil = s.now + 1
+		s.schedule(s.now+int64(lat), func() { s.completeBankReq(req) })
+	}
+}
+
+// routeAccess resolves the partition and latency for a request at service
+// time. The physical register was fixed at enqueue (it determines the
+// bank); only the FRF power mode is sampled live.
+func (s *sm) routeAccess(req bankReq) (regfile.Partition, int) {
+	cfg := s.rf.Config()
+	switch cfg.Design {
+	case regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV:
+		if s.cfg.UseRFC {
+			return regfile.PartMRF, s.cfg.RFCMRFLatency
+		}
+		return regfile.PartMRF, cfg.Lat.MRF
+	}
+	if int(req.phys) < cfg.FRFRegs {
+		if a := s.rf.Adaptive(); a != nil && a.LowPower() {
+			return regfile.PartFRFLow, cfg.Lat.FRFLow
+		}
+		return regfile.PartFRFHigh, cfg.Lat.FRFHigh
+	}
+	return regfile.PartSRF, cfg.Lat.SRF
+}
+
+func (s *sm) completeBankReq(req bankReq) {
+	if req.col != nil {
+		req.col.pendingReads--
+		// Dispatch happens in the collector sweep, keeping ordering
+		// deterministic.
+		return
+	}
+	if req.onDone != nil {
+		req.onDone()
+	}
+}
+
+// enqueueBankRead queues a source-operand read for a collector.
+func (s *sm) enqueueBankRead(col *collectorUnit, arch isa.Reg) {
+	phys := s.rf.PhysicalReg(arch)
+	b := s.rf.BankOf(col.warp.slot, phys)
+	s.banks[b].queue = append(s.banks[b].queue, bankReq{
+		warp: col.warp, arch: arch, phys: phys, col: col,
+	})
+}
+
+// enqueueBankWrite queues a destination write; onDone runs when the write
+// retires (scoreboard release).
+func (s *sm) enqueueBankWrite(w *warpCtx, arch isa.Reg, onDone func()) {
+	phys := s.rf.PhysicalReg(arch)
+	b := s.rf.BankOf(w.slot, phys)
+	s.banks[b].queue = append(s.banks[b].queue, bankReq{
+		warp: w, arch: arch, phys: phys, isWrite: true, onDone: onDone,
+	})
+}
+
+// schedule registers fn to run at the given cycle (>= now).
+func (s *sm) schedule(cycle int64, fn func()) {
+	s.eventSeq++
+	heap.Push(&s.events, event{cycle: cycle, seq: s.eventSeq, fn: fn})
+}
+
+// runEvents fires all events due at the current cycle.
+func (s *sm) runEvents() {
+	for len(s.events) > 0 && s.events[0].cycle <= s.now {
+		e := heap.Pop(&s.events).(event)
+		e.fn()
+	}
+}
+
+// memDispatch issues a global-memory transaction; done runs after the
+// memory latency. Excess transactions wait for a free slot.
+func (s *sm) memDispatch(done func()) {
+	start := func() {
+		s.mem.inflight++
+		s.schedule(s.now+int64(s.cfg.MemLatency), func() {
+			s.mem.inflight--
+			if len(s.mem.waiting) > 0 {
+				next := s.mem.waiting[0]
+				copy(s.mem.waiting, s.mem.waiting[1:])
+				s.mem.waiting = s.mem.waiting[:len(s.mem.waiting)-1]
+				next()
+			}
+			done()
+		})
+	}
+	if s.mem.inflight < s.cfg.MaxMemInflight {
+		start()
+	} else {
+		s.mem.waiting = append(s.mem.waiting, start)
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// TraceKind classifies pipeline trace events.
+type TraceKind uint8
+
+// Trace event kinds, in rough pipeline order.
+const (
+	TraceCTALaunch TraceKind = iota
+	TraceIssue
+	TraceBankAccess
+	TraceDispatch
+	TraceMemStart
+	TraceMemDone
+	TraceWriteback
+	TraceWarpRetire
+	TracePilotDone
+	TraceModeSwitch
+	TraceBarrier
+)
+
+// String returns the event kind name.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceCTALaunch:
+		return "cta-launch"
+	case TraceIssue:
+		return "issue"
+	case TraceBankAccess:
+		return "bank"
+	case TraceDispatch:
+		return "dispatch"
+	case TraceMemStart:
+		return "mem-start"
+	case TraceMemDone:
+		return "mem-done"
+	case TraceWriteback:
+		return "writeback"
+	case TraceWarpRetire:
+		return "warp-retire"
+	case TracePilotDone:
+		return "pilot-done"
+	case TraceModeSwitch:
+		return "mode-switch"
+	case TraceBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("trace-%d", uint8(k))
+	}
+}
+
+// TraceEvent is one pipeline occurrence.
+type TraceEvent struct {
+	Cycle  int64
+	SM     int
+	Kind   TraceKind
+	Warp   int // SM-local warp slot, -1 when not warp-specific
+	PC     int // -1 when not instruction-specific
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%8d sm%d %-11s w%-3d pc%-4d %s", e.Cycle, e.SM, e.Kind, e.Warp, e.PC, e.Detail)
+}
+
+// Tracer receives pipeline events. Implementations must be cheap; the
+// simulator calls them inline.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// WriterTracer streams formatted events to an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+}
+
+// Event writes the event as a line.
+func (t *WriterTracer) Event(e TraceEvent) { fmt.Fprintln(t.W, e.String()) }
+
+// RingTracer keeps the last N events in memory (the flight recorder used
+// by tests and for post-mortem debugging).
+type RingTracer struct {
+	buf   []TraceEvent
+	next  int
+	count int
+}
+
+// NewRingTracer returns a tracer holding the last n events.
+func NewRingTracer(n int) *RingTracer {
+	if n <= 0 {
+		panic("sim: ring tracer of non-positive size")
+	}
+	return &RingTracer{buf: make([]TraceEvent, n)}
+}
+
+// Event records an event, evicting the oldest when full.
+func (t *RingTracer) Event(e TraceEvent) {
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % len(t.buf)
+	if t.count < len(t.buf) {
+		t.count++
+	}
+}
+
+// Events returns the recorded events, oldest first.
+func (t *RingTracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, t.count)
+	start := t.next - t.count
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.buf[(start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// CountKind returns how many recorded events have the given kind.
+func (t *RingTracer) CountKind(k TraceKind) int {
+	n := 0
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// trace emits an event if a tracer is configured.
+func (s *sm) trace(kind TraceKind, warp, pc int, format string, args ...interface{}) {
+	if s.cfg.Tracer == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	s.cfg.Tracer.Event(TraceEvent{
+		Cycle: s.now, SM: s.id, Kind: kind, Warp: warp, PC: pc, Detail: detail,
+	})
+}

@@ -1,0 +1,39 @@
+package stats
+
+import "testing"
+
+func BenchmarkHistogramInc(b *testing.B) {
+	h := NewHistogram(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Inc(i % 64)
+	}
+}
+
+func BenchmarkHistogramTopN(b *testing.B) {
+	h := NewHistogram(64)
+	rng := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		h.Inc(rng.Intn(64))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.TopN(4)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRNGNormFloat64(b *testing.B) {
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

@@ -1,0 +1,58 @@
+package stats
+
+import "math"
+
+// RNG is a deterministic xorshift64* pseudo-random number generator.
+// It is not cryptographically secure; it exists so that workload data
+// generation and Monte Carlo sampling are reproducible without pulling in
+// math/rand global state.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has an all-zeros fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit pseudo-random value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32 returns the next 32-bit pseudo-random value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Avoid log(0) by keeping u1 strictly positive.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,190 @@
+// Package stats provides counters, histograms, aggregation helpers, and a
+// deterministic random number generator shared by the simulator, the
+// workload generators, and the circuit-level Monte Carlo models.
+//
+// Everything in this package is deliberately free of wall-clock time and
+// global randomness so that every experiment in the repository is exactly
+// reproducible from a seed.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a simple monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset sets the counter back to zero.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Histogram counts events per integer key (for example, per architected
+// register identifier). Keys are small and dense in this codebase, so the
+// histogram is backed by a slice.
+type Histogram struct {
+	counts []uint64
+}
+
+// NewHistogram returns a histogram with room for keys in [0, size).
+// The histogram grows automatically if larger keys are added.
+func NewHistogram(size int) *Histogram {
+	return &Histogram{counts: make([]uint64, size)}
+}
+
+// Add increments the count for key by delta.
+func (h *Histogram) Add(key int, delta uint64) {
+	if key < 0 {
+		panic(fmt.Sprintf("stats: negative histogram key %d", key))
+	}
+	for key >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[key] += delta
+}
+
+// Inc increments the count for key by one.
+func (h *Histogram) Inc(key int) { h.Add(key, 1) }
+
+// Count returns the count for key (zero if never added).
+func (h *Histogram) Count(key int) uint64 {
+	if key < 0 || key >= len(h.counts) {
+		return 0
+	}
+	return h.counts[key]
+}
+
+// Total returns the sum of all counts.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.counts {
+		t += c
+	}
+	return t
+}
+
+// Len returns the number of keys the histogram currently covers.
+func (h *Histogram) Len() int { return len(h.counts) }
+
+// Reset zeroes all counts, keeping the allocated capacity.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+}
+
+// Snapshot returns a copy of the raw counts indexed by key.
+func (h *Histogram) Snapshot() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// KV is a (key, count) pair produced by TopN.
+type KV struct {
+	Key   int
+	Count uint64
+}
+
+// TopN returns the n keys with the highest counts, in descending count
+// order. Ties are broken by ascending key so the result is deterministic.
+// Keys with zero counts are never returned, so the result may be shorter
+// than n.
+func (h *Histogram) TopN(n int) []KV {
+	kvs := make([]KV, 0, len(h.counts))
+	for k, c := range h.counts {
+		if c > 0 {
+			kvs = append(kvs, KV{Key: k, Count: c})
+		}
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Count != kvs[j].Count {
+			return kvs[i].Count > kvs[j].Count
+		}
+		return kvs[i].Key < kvs[j].Key
+	})
+	if len(kvs) > n {
+		kvs = kvs[:n]
+	}
+	return kvs
+}
+
+// TopNShare returns the fraction of the histogram total captured by the n
+// highest-count keys. It returns 0 when the histogram is empty.
+func (h *Histogram) TopNShare(n int) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	var top uint64
+	for _, kv := range h.TopN(n) {
+		top += kv.Count
+	}
+	return float64(top) / float64(total)
+}
+
+// Share returns the fraction of the total captured by the given key set.
+func (h *Histogram) Share(keys []int) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, k := range keys {
+		sum += h.Count(k)
+	}
+	return float64(sum) / float64(total)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of xs. All values must be positive;
+// it returns 0 for an empty slice.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %g", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

@@ -1,0 +1,297 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatalf("zero counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset counter = %d, want 0", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	h.Inc(0)
+	h.Add(2, 10)
+	h.Inc(2)
+	if got := h.Count(0); got != 1 {
+		t.Errorf("Count(0) = %d, want 1", got)
+	}
+	if got := h.Count(2); got != 11 {
+		t.Errorf("Count(2) = %d, want 11", got)
+	}
+	if got := h.Count(3); got != 0 {
+		t.Errorf("Count(3) = %d, want 0", got)
+	}
+	if got := h.Total(); got != 12 {
+		t.Errorf("Total = %d, want 12", got)
+	}
+}
+
+func TestHistogramGrows(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(10, 3)
+	if got := h.Count(10); got != 3 {
+		t.Errorf("Count(10) = %d, want 3", got)
+	}
+	if h.Len() < 11 {
+		t.Errorf("Len = %d, want >= 11", h.Len())
+	}
+}
+
+func TestHistogramNegativeKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative key")
+		}
+	}()
+	NewHistogram(1).Inc(-1)
+}
+
+func TestHistogramCountOutOfRange(t *testing.T) {
+	h := NewHistogram(2)
+	if got := h.Count(-5); got != 0 {
+		t.Errorf("Count(-5) = %d, want 0", got)
+	}
+	if got := h.Count(100); got != 0 {
+		t.Errorf("Count(100) = %d, want 0", got)
+	}
+}
+
+func TestTopNOrdering(t *testing.T) {
+	h := NewHistogram(8)
+	h.Add(1, 5)
+	h.Add(3, 9)
+	h.Add(5, 9) // tie with key 3 -> key 3 first
+	h.Add(7, 1)
+	top := h.TopN(3)
+	want := []KV{{3, 9}, {5, 9}, {1, 5}}
+	if len(top) != len(want) {
+		t.Fatalf("TopN len = %d, want %d", len(top), len(want))
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Errorf("TopN[%d] = %+v, want %+v", i, top[i], want[i])
+		}
+	}
+}
+
+func TestTopNSkipsZeros(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(4, 2)
+	top := h.TopN(5)
+	if len(top) != 1 {
+		t.Fatalf("TopN = %v, want single entry", top)
+	}
+}
+
+func TestTopNShare(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0, 60)
+	h.Add(1, 30)
+	h.Add(2, 10)
+	if got := h.TopNShare(1); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("TopNShare(1) = %g, want 0.6", got)
+	}
+	if got := h.TopNShare(2); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("TopNShare(2) = %g, want 0.9", got)
+	}
+	empty := NewHistogram(4)
+	if got := empty.TopNShare(3); got != 0 {
+		t.Errorf("empty TopNShare = %g, want 0", got)
+	}
+}
+
+func TestShare(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0, 25)
+	h.Add(1, 75)
+	if got := h.Share([]int{1}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Share([1]) = %g, want 0.75", got)
+	}
+	if got := h.Share(nil); got != 0 {
+		t.Errorf("Share(nil) = %g, want 0", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(1, 7)
+	h.Reset()
+	if h.Total() != 0 {
+		t.Errorf("Total after Reset = %d, want 0", h.Total())
+	}
+	if h.Len() != 4 {
+		t.Errorf("Len after Reset = %d, want 4 (capacity kept)", h.Len())
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	h := NewHistogram(2)
+	h.Add(0, 1)
+	snap := h.Snapshot()
+	snap[0] = 99
+	if h.Count(0) != 1 {
+		t.Error("mutating snapshot changed histogram")
+	}
+}
+
+func TestMeanGeomeanStdDev(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %g, want 2", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g, want 0", got)
+	}
+	if got := Geomean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Geomean = %g, want 10", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("Geomean(nil) = %g, want 0", got)
+	}
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev = %g, want 0", got)
+	}
+	if got := StdDev([]float64{0, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("StdDev = %g, want 1", got)
+	}
+}
+
+func TestGeomeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive geomean input")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/100 times", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced degenerate stream")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %g, want ~1", variance)
+	}
+}
+
+// Property: TopNShare is monotonically non-decreasing in N and bounded by 1.
+func TestPropertyTopNShareMonotone(t *testing.T) {
+	f := func(counts []uint16) bool {
+		h := NewHistogram(len(counts))
+		for k, c := range counts {
+			h.Add(k, uint64(c))
+		}
+		prev := 0.0
+		for n := 0; n <= len(counts)+1; n++ {
+			s := h.TopNShare(n)
+			if s < prev-1e-12 || s > 1+1e-12 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Total equals the sum of the snapshot.
+func TestPropertyTotalMatchesSnapshot(t *testing.T) {
+	f := func(counts []uint16) bool {
+		h := NewHistogram(1)
+		for k, c := range counts {
+			h.Add(k, uint64(c))
+		}
+		var sum uint64
+		for _, c := range h.Snapshot() {
+			sum += c
+		}
+		return sum == h.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,445 @@
+package workloads
+
+import (
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+)
+
+// Category 1 workloads: loop-body registers dominate both the static text
+// and the dynamic counts, so compiler profiling and pilot profiling agree.
+// Each kernel follows the structure of its namesake: a setup phase, a hot
+// main loop (unrolled in the text, as the real compilers do), and a
+// cooler secondary phase that gives the access histogram the tail the
+// paper measures (Figure 2: top-3/4/5 capture 62/72/77% on average).
+
+// BFS models Rodinia's breadth-first search: load a node's edge range,
+// then walk a data-dependent number of neighbors (divergent), updating a
+// frontier cost; a short epilogue merges frontier flags. Hot registers:
+// R5 (neighbor), R4 (cost), R6 (edge counter). Memory bound.
+func BFS() Workload {
+	const regs, tpc = 7, 256
+	b := kernel.NewBuilder("bfs_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.SHLI(isa.R(2), isa.R(0), 2) // edge cursor
+	b.LDG(isa.R(3), isa.R(2), 0)  // node record
+	b.ANDI(isa.R(3), isa.R(3), 7) // neighbor count 0..7 (divergent bound)
+	b.IADDI(isa.R(3), isa.R(3), 2)
+	b.MOVI(isa.R(4), 0) // cost accumulator (hot)
+	// Hot neighbor walk, 2x unrolled.
+	b.RegCountedLoop(isa.R(6), isa.P(0), isa.R(3), func() {
+		b.LDG(isa.R(5), isa.R(2), 0) // neighbor id (hot)
+		b.IADD(isa.R(4), isa.R(4), isa.R(5))
+		b.IADDI(isa.R(2), isa.R(2), 4)
+		b.LDG(isa.R(5), isa.R(2), 64)
+		b.IMAD(isa.R(4), isa.R(5), isa.R(5), isa.R(4))
+	})
+	// Cool epilogue: frontier flag merge on R0/R1.
+	b.CountedLoop(isa.R(6), isa.P(0), 4, func() {
+		b.IADD(isa.R(1), isa.R(1), isa.R(0))
+		b.XOR(isa.R(0), isa.R(0), isa.R(1))
+	})
+	b.STG(isa.R(2), 0, isa.R(5))
+	b.EXIT()
+	k1 := b.MustBuild()
+
+	// Kernel 2: visited-flag update (BFS alternates two kernels per
+	// level). A different hot set: R1 (flag word), R3 (mask).
+	b2 := kernel.NewBuilder("bfs_k2", regs)
+	b2.S2R(isa.R(0), isa.SRTid)
+	b2.SHLI(isa.R(2), isa.R(0), 2)
+	b2.LDG(isa.R(1), isa.R(2), 0) // flag word (hot)
+	b2.MOVI(isa.R(3), 0)          // mask accumulator (hot)
+	b2.CountedLoop(isa.R(2), isa.P(0), 10, func() {
+		b2.OR(isa.R(3), isa.R(3), isa.R(1))
+		b2.SHRI(isa.R(1), isa.R(1), 1)
+		b2.IADD(isa.R(3), isa.R(3), isa.R(1))
+	})
+	// Frontier count merge on cooler registers.
+	b2.CountedLoop(isa.R(2), isa.P(0), 4, func() {
+		b2.IADD(isa.R(4), isa.R(4), isa.R(0))
+		b2.XOR(isa.R(5), isa.R(5), isa.R(4))
+	})
+	b2.STG(isa.R(0), 0, isa.R(3))
+	b2.EXIT()
+
+	return Workload{
+		Name:     "BFS",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 12)},
+			{Prog: b2.MustBuild(), ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 6)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 0.12},
+	}
+}
+
+// Btree models Rodinia's b+tree lookup: descend a tree comparing loaded
+// keys against the query (hot: R8 node pointer, R9 key, R10 loaded key),
+// then a result-compaction pass over cooler registers.
+func Btree() Workload {
+	const regs, tpc = 15, 508
+	b := kernel.NewBuilder("btree_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.S2R(isa.R(1), isa.SRCTAid)
+	b.IMAD(isa.R(2), isa.R(1), isa.R(0), isa.R(0))
+	b.SHLI(isa.R(8), isa.R(2), 3) // node pointer (hot)
+	b.LDG(isa.R(9), isa.R(8), 0)  // query key (hot)
+	// Hot descent. The flattened id R2 is dead after the prologue and is
+	// reused as the depth counter (static rank tracks dynamic rank).
+	b.CountedLoop(isa.R(2), isa.P(1), 12, func() {
+		b.LDG(isa.R(10), isa.R(8), 16) // node key (hot)
+		b.SETP(isa.P(0), isa.R(9), isa.CmpLT, isa.R(10))
+		b.IfElse(isa.P(0),
+			func() { b.SHLI(isa.R(8), isa.R(8), 1) },
+			func() { b.IADDI(isa.R(8), isa.R(8), 24) },
+		)
+		b.IADD(isa.R(9), isa.R(9), isa.R(10))
+		b.ANDI(isa.R(8), isa.R(8), 0xFFFF)
+	})
+	// Result compaction on cooler registers.
+	b.CountedLoop(isa.R(3), isa.P(1), 7, func() {
+		b.IADD(isa.R(4), isa.R(4), isa.R(0))
+		b.XOR(isa.R(5), isa.R(4), isa.R(0))
+	})
+	b.STG(isa.R(8), 0, isa.R(9))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "btree",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 0.7},
+	}
+}
+
+// Hotspot models Rodinia's thermal stencil: iterative 5-point relaxation
+// with FFMA-heavy arithmetic, compute bound (it rarely enters low-compute
+// phases). Hot registers: R20 (center temp), R21 (power), R22 (delta);
+// the boundary-condition pass afterwards touches the neighbor scratch set.
+func Hotspot() Workload {
+	const regs, tpc = 27, 256
+	b := kernel.NewBuilder("hotspot_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.SHLI(isa.R(1), isa.R(0), 2)
+	b.LDG(isa.R(20), isa.R(1), 0) // center temperature (hot)
+	b.LDG(isa.R(21), isa.R(1), 4) // power (hot)
+	b.LDG(isa.R(10), isa.R(1), 8) // neighbors
+	b.LDG(isa.R(11), isa.R(1), 12)
+	// Hot relaxation loop (2x unrolled update). The address register R1
+	// is dead after the loads, so the compiler reuses it as the loop
+	// counter — its static rank then matches its dynamic rank.
+	b.CountedLoop(isa.R(1), isa.P(0), 18, func() {
+		for u := 0; u < 2; u++ {
+			b.FADD(isa.R(22), isa.R(20), isa.R(21)) // delta (hot)
+			b.FFMA(isa.R(20), isa.R(22), isa.R(21), isa.R(20))
+			b.FMUL(isa.R(22), isa.R(20), isa.R(21))
+			b.FADD(isa.R(20), isa.R(20), isa.R(22))
+		}
+	})
+	// Boundary-condition pass over the neighbor registers.
+	b.CountedLoop(isa.R(4), isa.P(0), 9, func() {
+		b.FADD(isa.R(10), isa.R(10), isa.R(11))
+		b.FADD(isa.R(12), isa.R(12), isa.R(10))
+	})
+	b.STG(isa.R(20), 0, isa.R(21))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "hotspot",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 3.6},
+	}
+}
+
+// NW models Rodinia's Needleman-Wunsch: tiny 16-thread CTAs sweeping a
+// dynamic-programming anti-diagonal; each step loads two neighbors and
+// takes a max, then a traceback pass walks cooler registers.
+// Hot: R12 (score), R13 (left), R5 (cursor).
+func NW() Workload {
+	const regs, tpc = 21, 16
+	b := kernel.NewBuilder("nw_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.S2R(isa.R(1), isa.SRCTAid)
+	b.IMAD(isa.R(2), isa.R(1), isa.R(0), isa.R(0))
+	b.SHLI(isa.R(5), isa.R(2), 2) // cursor (hot)
+	b.MOVI(isa.R(12), 0)          // score (hot)
+	b.CountedLoop(isa.R(3), isa.P(0), 20, func() {
+		b.LDS(isa.R(13), isa.R(5), 0) // left, from the shared tile (hot)
+		b.IMAX(isa.R(12), isa.R(12), isa.R(13))
+		b.IADD(isa.R(12), isa.R(12), isa.R(13))
+		b.LDS(isa.R(13), isa.R(5), 4) // up, from the shared tile (hot)
+		b.IADDI(isa.R(5), isa.R(5), 8)
+		b.IADD(isa.R(12), isa.R(12), isa.R(13))
+	})
+	b.BAR()
+	// Traceback over cooler registers.
+	b.CountedLoop(isa.R(4), isa.P(0), 9, func() {
+		b.LDG(isa.R(14), isa.R(5), 4)
+		b.IADD(isa.R(15), isa.R(15), isa.R(14))
+	})
+	b.STG(isa.R(5), 0, isa.R(12))
+	b.EXIT()
+	k1 := b.MustBuild()
+
+	// Kernel 2: the reverse (bottom-right) diagonal sweep, with its own
+	// hot set: R16 (score), R17 (diag), R6 (cursor).
+	b2 := kernel.NewBuilder("nw_k2", regs)
+	b2.S2R(isa.R(0), isa.SRTid)
+	b2.S2R(isa.R(1), isa.SRCTAid)
+	b2.IMAD(isa.R(2), isa.R(1), isa.R(0), isa.R(0))
+	b2.SHLI(isa.R(6), isa.R(2), 2) // cursor (hot)
+	b2.MOVI(isa.R(16), 0)          // score (hot)
+	b2.CountedLoop(isa.R(3), isa.P(0), 16, func() {
+		b2.LDS(isa.R(17), isa.R(6), 0) // diagonal (hot)
+		b2.IMAX(isa.R(16), isa.R(16), isa.R(17))
+		b2.IADD(isa.R(16), isa.R(16), isa.R(17))
+		b2.IADDI(isa.R(6), isa.R(6), 8)
+	})
+	b2.BAR()
+	b2.CountedLoop(isa.R(4), isa.P(0), 6, func() {
+		b2.LDG(isa.R(18), isa.R(6), 4)
+		b2.IADD(isa.R(19), isa.R(19), isa.R(18))
+	})
+	b2.STG(isa.R(6), 0, isa.R(16))
+	b2.EXIT()
+
+	return Workload{
+		Name:     "nw",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+			{Prog: b2.MustBuild(), ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 8)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 0.48},
+	}
+}
+
+// Stencil models Parboil's 7-point stencil on 1024-thread CTAs. Hot:
+// R6 (accumulator), R8 (address), R9 (loaded value); a halo-exchange
+// phase afterwards works the cooler coefficient registers.
+func Stencil() Workload {
+	const regs, tpc = 15, 1024
+	b := kernel.NewBuilder("stencil_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.S2R(isa.R(1), isa.SRCTAid)
+	b.IMULI(isa.R(2), isa.R(1), 1024)
+	b.IADD(isa.R(2), isa.R(2), isa.R(0))
+	b.SHLI(isa.R(8), isa.R(2), 2) // address (hot)
+	b.MOVI(isa.R(6), 0)           // accumulator (hot)
+	// The flattened id R2 is dead after the prologue; reuse it as the
+	// sweep counter so the static census ranks it correctly.
+	b.CountedLoop(isa.R(2), isa.P(0), 12, func() {
+		b.LDS(isa.R(9), isa.R(8), 0) // value, from the shared tile (hot)
+		b.FFMA(isa.R(6), isa.R(9), isa.R(9), isa.R(6))
+		b.IADDI(isa.R(8), isa.R(8), 4)
+		b.FADD(isa.R(6), isa.R(6), isa.R(9))
+		b.IMAX(isa.R(9), isa.R(9), isa.R(6))
+	})
+	// Halo exchange over cooler registers.
+	b.CountedLoop(isa.R(4), isa.P(0), 6, func() {
+		b.LDG(isa.R(7), isa.R(8), 32)
+		b.FADD(isa.R(10), isa.R(10), isa.R(7))
+	})
+	b.STG(isa.R(8), 0, isa.R(6))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "stencil",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 8)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 0.2},
+	}
+}
+
+// Backprop models Rodinia's neural-network training pair. The paper calls
+// out that its two kernels have disjoint hot sets: kernel 1's include R0,
+// R8, R9 (with R0 accessed ~6x more than R6); kernel 2's are R4, R5, R6.
+func Backprop() Workload {
+	const regs, tpc = 13, 256
+
+	// Kernel 1: forward layer — weighted sum into R0.
+	b1 := kernel.NewBuilder("backprop_layerforward", regs)
+	b1.S2R(isa.R(0), isa.SRTid)
+	b1.SHLI(isa.R(8), isa.R(0), 2) // R8: weight pointer (hot)
+	b1.MOVI(isa.R(6), 1)           // R6: cold bias register
+	b1.MOVI(isa.R(0), 0)           // R0: activation (hot, dominant)
+	b1.CountedLoop(isa.R(2), isa.P(0), 14, func() {
+		b1.LDG(isa.R(9), isa.R(8), 0) // R9: weight (hot)
+		b1.IMAD(isa.R(0), isa.R(9), isa.R(9), isa.R(0))
+		b1.IADDI(isa.R(8), isa.R(8), 4)
+		b1.IADD(isa.R(0), isa.R(0), isa.R(9))
+		b1.IMAX(isa.R(0), isa.R(0), isa.R(9))
+	})
+	b1.IADD(isa.R(0), isa.R(0), isa.R(6))
+	b1.BAR()
+	// Activation spill over cooler registers.
+	b1.CountedLoop(isa.R(3), isa.P(0), 7, func() {
+		b1.IADD(isa.R(4), isa.R(4), isa.R(1))
+		b1.XOR(isa.R(5), isa.R(5), isa.R(4))
+	})
+	b1.STG(isa.R(8), 0, isa.R(0))
+	b1.EXIT()
+
+	// Kernel 2: weight adjustment — delta math on R4/R5/R6.
+	b2 := kernel.NewBuilder("backprop_adjust", regs)
+	b2.S2R(isa.R(1), isa.SRTid)
+	b2.SHLI(isa.R(4), isa.R(1), 2) // R4: weight addr (hot)
+	b2.LDG(isa.R(5), isa.R(4), 0)  // R5: delta (hot)
+	b2.MOVI(isa.R(6), 0)           // R6: new weight (hot)
+	b2.CountedLoop(isa.R(2), isa.P(0), 12, func() {
+		b2.IMAD(isa.R(6), isa.R(5), isa.R(5), isa.R(6))
+		b2.IADDI(isa.R(4), isa.R(4), 4)
+		b2.IADD(isa.R(6), isa.R(6), isa.R(5))
+	})
+	// Momentum update over cooler registers.
+	b2.CountedLoop(isa.R(3), isa.P(0), 6, func() {
+		b2.IADD(isa.R(7), isa.R(7), isa.R(1))
+		b2.XOR(isa.R(8), isa.R(8), isa.R(7))
+	})
+	b2.STG(isa.R(4), 0, isa.R(6))
+	b2.EXIT()
+
+	return Workload{
+		Name:     "backprop",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: b1.MustBuild(), ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+			{Prog: b2.MustBuild(), ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 2.6},
+	}
+}
+
+// SAD models Parboil's sum-of-absolute-differences (video encoding):
+// 61-thread CTAs, register-fat (29 regs), compute bound. Hot: R24-R26;
+// the motion-vector reduction afterwards uses a cooler block.
+func SAD() Workload {
+	const regs, tpc = 29, 61
+	b := kernel.NewBuilder("sad_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.SHLI(isa.R(1), isa.R(0), 2)
+	b.LDG(isa.R(24), isa.R(1), 0) // reference block (hot)
+	b.MOVI(isa.R(25), 0)          // SAD accumulator (hot)
+	b.CountedLoop(isa.R(2), isa.P(0), 20, func() {
+		b.LDS(isa.R(26), isa.R(1), 16)          // candidate pixel, shared tile (hot)
+		b.ISUB(isa.R(25), isa.R(24), isa.R(26)) // diff
+		b.IADD(isa.R(25), isa.R(25), isa.R(26))
+		b.IADDI(isa.R(1), isa.R(1), 4)
+	})
+	// Motion vector reduction over a cooler block.
+	b.CountedLoop(isa.R(3), isa.P(0), 9, func() {
+		b.IADD(isa.R(10), isa.R(10), isa.R(24))
+		b.IMAX(isa.R(11), isa.R(11), isa.R(10))
+	})
+	b.STG(isa.R(1), 0, isa.R(25))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "sad",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 12)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 0.13},
+	}
+}
+
+// SRAD models Rodinia's speckle-reducing anisotropic diffusion: two small
+// kernels over an image. Hot: R3 (pixel), R4 (gradient), R5 (coefficient).
+func SRAD() Workload {
+	const regs, tpc = 12, 256
+
+	b1 := kernel.NewBuilder("srad_k1", regs)
+	b1.S2R(isa.R(0), isa.SRTid)
+	b1.SHLI(isa.R(1), isa.R(0), 2)
+	b1.LDG(isa.R(3), isa.R(1), 0) // pixel (hot)
+	b1.MOVI(isa.R(4), 0)          // gradient (hot)
+	b1.CountedLoop(isa.R(2), isa.P(0), 14, func() {
+		b1.LDG(isa.R(5), isa.R(1), 4) // neighbor (hot)
+		b1.ISUB(isa.R(4), isa.R(5), isa.R(3))
+		b1.IMAD(isa.R(3), isa.R(4), isa.R(5), isa.R(3))
+		b1.IADD(isa.R(3), isa.R(3), isa.R(5))
+		b1.IADDI(isa.R(1), isa.R(1), 4)
+	})
+	// Diffusion coefficient smoothing over cooler registers.
+	b1.CountedLoop(isa.R(2), isa.P(0), 6, func() {
+		b1.IADD(isa.R(6), isa.R(6), isa.R(0))
+		b1.XOR(isa.R(7), isa.R(7), isa.R(6))
+	})
+	b1.STG(isa.R(1), 0, isa.R(3))
+	b1.EXIT()
+
+	b2 := kernel.NewBuilder("srad_k2", regs)
+	b2.S2R(isa.R(0), isa.SRTid)
+	b2.SHLI(isa.R(1), isa.R(0), 2)
+	b2.LDG(isa.R(3), isa.R(1), 0)
+	b2.MOVI(isa.R(5), 0)
+	b2.CountedLoop(isa.R(2), isa.P(0), 11, func() {
+		b2.IMAD(isa.R(5), isa.R(3), isa.R(3), isa.R(5))
+		b2.IADD(isa.R(3), isa.R(3), isa.R(5))
+	})
+	b2.CountedLoop(isa.R(2), isa.P(0), 5, func() {
+		b2.IADD(isa.R(6), isa.R(6), isa.R(0))
+		b2.IADD(isa.R(7), isa.R(7), isa.R(6))
+	})
+	b2.STG(isa.R(1), 0, isa.R(5))
+	b2.EXIT()
+
+	return Workload{
+		Name:     "srad",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: b1.MustBuild(), ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+			{Prog: b2.MustBuild(), ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 10)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 0.6},
+	}
+}
+
+// MUM models MUMmerGPU's suffix-tree matching: a heavily divergent walk
+// whose depth comes from loaded data, with only ~3 CTA waves (large pilot
+// share for a Category 1 workload, 37% in the paper). Hot: R7-R9.
+func MUM() Workload {
+	const regs, tpc = 15, 256
+	b := kernel.NewBuilder("mum_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.S2R(isa.R(1), isa.SRCTAid)
+	b.IMAD(isa.R(2), isa.R(1), isa.R(0), isa.R(0))
+	b.SHLI(isa.R(7), isa.R(2), 2) // tree cursor (hot)
+	b.LDG(isa.R(3), isa.R(7), 0)
+	b.ANDI(isa.R(3), isa.R(3), 15) // match depth 0..15 (divergent)
+	b.IADDI(isa.R(3), isa.R(3), 6)
+	b.MOVI(isa.R(8), 0) // match length (hot)
+	b.RegCountedLoop(isa.R(4), isa.P(0), isa.R(3), func() {
+		b.LDG(isa.R(9), isa.R(7), 8) // tree edge (hot)
+		b.SETPI(isa.P(1), isa.R(9), isa.CmpGT, 0)
+		b.If(isa.P(1), false, func() {
+			b.IADDI(isa.R(8), isa.R(8), 1)
+		})
+		b.IADD(isa.R(7), isa.R(7), isa.R(8))
+		b.ANDI(isa.R(7), isa.R(7), 0xFFFF)
+	})
+	// Query post-processing over cooler registers.
+	b.CountedLoop(isa.R(4), isa.P(0), 8, func() {
+		b.IADD(isa.R(10), isa.R(10), isa.R(2))
+		b.XOR(isa.R(11), isa.R(11), isa.R(10))
+	})
+	b.STG(isa.R(7), 0, isa.R(8))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "MUM",
+		Category: Category1,
+		Kernels: []kernel.Kernel{
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 2.5)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 37},
+	}
+}

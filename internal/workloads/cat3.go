@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+)
+
+// Category 3 workloads: kernels with so few warps (64 threads/CTA, one
+// CTA wave) that the pilot warp's own execution spans most of the kernel
+// — by the time its statistics arrive, little work remains to benefit.
+// Their code is compiler-friendly (the static census ranks registers the
+// way the dynamic counts do), so compiler seeding beats waiting for the
+// pilot, which is exactly why the hybrid technique exists.
+
+// LIB models the GPGPU-Sim suite's LIBOR Monte Carlo pricer: one long
+// path-evolution loop per thread; nearly all text and all dynamic
+// accesses sit in the loop on R10-R13.
+func LIB() Workload {
+	const regs, tpc = 18, 64
+	b := kernel.NewBuilder("lib_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.SHLI(isa.R(10), isa.R(0), 2) // rate cursor (hot)
+	b.MOVI(isa.R(11), 0x3F800000)  // path value 1.0f (hot)
+	b.MOVI(isa.R(12), 0)           // payoff accumulator (hot)
+	b.CountedLoop(isa.R(1), isa.P(0), 110, func() {
+		b.LDS(isa.R(13), isa.R(10), 0) // forward rate, constant cache (hot)
+		b.FFMA(isa.R(11), isa.R(13), isa.R(11), isa.R(11))
+		b.FADD(isa.R(12), isa.R(12), isa.R(11))
+		b.IADDI(isa.R(10), isa.R(10), 4)
+	})
+	// Portfolio aggregation over cooler registers.
+	b.CountedLoop(isa.R(1), isa.P(0), 30, func() {
+		b.IADD(isa.R(2), isa.R(2), isa.R(0))
+		b.XOR(isa.R(3), isa.R(3), isa.R(2))
+	})
+	b.STG(isa.R(10), 0, isa.R(12))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "LIB",
+		Category: Category3,
+		Kernels: []kernel.Kernel{
+			// ~1.1 waves: the pilot's CTA spans ~60% of the kernel.
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 1.1)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 60},
+	}
+}
+
+// WP models the GPGPU-Sim suite's weather prediction kernel: tiny grid,
+// one wave of 64-thread CTAs, a long physics loop on R4-R6. The pilot
+// runs for ~75% of the kernel in the paper.
+func WP() Workload {
+	const regs, tpc = 8, 64
+	b := kernel.NewBuilder("wp_k1", regs)
+	b.S2R(isa.R(0), isa.SRTid)
+	b.SHLI(isa.R(4), isa.R(0), 2) // cell cursor (hot)
+	b.MOVI(isa.R(5), 0)           // state accumulator (hot)
+	b.CountedLoop(isa.R(1), isa.P(0), 140, func() {
+		b.LDS(isa.R(6), isa.R(4), 0) // cell state, shared copy (hot)
+		b.IMAD(isa.R(5), isa.R(6), isa.R(6), isa.R(5))
+		b.IADD(isa.R(5), isa.R(5), isa.R(6))
+		b.IMIN(isa.R(5), isa.R(5), isa.R(6))
+		b.IADDI(isa.R(4), isa.R(4), 4)
+	})
+	// Boundary relaxation over cooler registers.
+	b.CountedLoop(isa.R(1), isa.P(0), 40, func() {
+		b.IADD(isa.R(2), isa.R(2), isa.R(0))
+		b.XOR(isa.R(3), isa.R(3), isa.R(2))
+	})
+	b.STG(isa.R(4), 0, isa.R(5))
+	b.EXIT()
+	k1 := b.MustBuild()
+	return Workload{
+		Name:     "WP",
+		Category: Category3,
+		Kernels: []kernel.Kernel{
+			// ~1.15 waves: the pilot spans ~75% of the kernel.
+			{Prog: k1, ThreadsPerCTA: tpc, NumCTAs: grid(regs, tpc, 1.15)},
+		},
+		Paper: PaperInfo{RegsPerThread: regs, ThreadsPerCTA: tpc, PilotCTAPct: 75},
+	}
+}

@@ -1,0 +1,78 @@
+package pilotrf
+
+import (
+	"pilotrf/internal/asm"
+	"pilotrf/internal/cfg"
+	"pilotrf/internal/isa"
+	"pilotrf/internal/kernel"
+)
+
+// The kernel-authoring API: downstream users write their own workloads
+// against the same builder the bundled benchmarks use. These are aliases
+// to the internal implementation, re-exported through the facade.
+
+// Kernel couples a program with its launch geometry.
+type Kernel = kernel.Kernel
+
+// Program is a validated kernel binary.
+type Program = kernel.Program
+
+// KernelBuilder assembles programs instruction by instruction with labels
+// and structured control flow.
+type KernelBuilder = kernel.Builder
+
+// Reg is a general-purpose architected register; Pred a predicate
+// register; CmpOp a SETP comparison; Special a hardware-supplied value.
+type (
+	Reg     = isa.Reg
+	Pred    = isa.Pred
+	CmpOp   = isa.CmpOp
+	Special = isa.Special
+)
+
+// Comparison operators for SETP/SETPI.
+const (
+	CmpEQ = isa.CmpEQ
+	CmpNE = isa.CmpNE
+	CmpLT = isa.CmpLT
+	CmpLE = isa.CmpLE
+	CmpGT = isa.CmpGT
+	CmpGE = isa.CmpGE
+)
+
+// Special registers readable with S2R.
+const (
+	SRTid    = isa.SRTid
+	SRCTAid  = isa.SRCTAid
+	SRNTid   = isa.SRNTid
+	SRNCTAid = isa.SRNCTAid
+	SRLane   = isa.SRLane
+	SRWarpID = isa.SRWarpID
+)
+
+// NewKernelBuilder returns a builder for a kernel with numRegs
+// architected registers per thread.
+func NewKernelBuilder(name string, numRegs int) *KernelBuilder {
+	return kernel.NewBuilder(name, numRegs)
+}
+
+// R returns the n-th general purpose register (panics out of range).
+func R(n int) Reg { return isa.R(n) }
+
+// P returns the n-th predicate register (panics out of range).
+func P(n int) Pred { return isa.P(n) }
+
+// Assemble parses textual assembly (see the internal/asm syntax) into a
+// validated program.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// AssemblyText renders a program as parseable assembly; it round-trips
+// through Assemble.
+func AssemblyText(p *Program) string { return asm.Text(p) }
+
+// CheckReconvergence verifies that every divergent branch in the program
+// reconverges at its immediate post-dominator — the structural invariant
+// the SIMT stack relies on. The kernel builder's structured helpers and
+// the assembler's defaults always satisfy it; hand-written branch/reconv
+// encodings should be checked.
+func CheckReconvergence(p *Program) error { return cfg.CheckReconvergence(p) }

@@ -1,0 +1,92 @@
+package pilotrf
+
+// A documentation-coverage gate: every exported declaration in the module
+// must carry a doc comment. This keeps the public API (and the internal
+// packages, which are the bulk of the system) at reference quality.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllExportedDeclarationsDocumented(t *testing.T) {
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Examples and commands are package main; still checked.
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil {
+					violations = append(violations, pos(fset, dd.Pos())+" func "+dd.Name.Name)
+				}
+			case *ast.GenDecl:
+				checkGenDecl(fset, dd, &violations)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("undocumented exported declaration: %s", v)
+	}
+}
+
+func checkGenDecl(fset *token.FileSet, dd *ast.GenDecl, violations *[]string) {
+	for _, spec := range dd.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && dd.Doc == nil && s.Doc == nil && s.Comment == nil {
+				*violations = append(*violations, pos(fset, s.Pos())+" type "+s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			// A doc comment on the grouped decl, the spec, or a
+			// trailing line comment all count.
+			if dd.Doc != nil || s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					*violations = append(*violations, pos(fset, s.Pos())+" value "+name.Name)
+				}
+			}
+		}
+	}
+}
+
+func pos(fset *token.FileSet, p token.Pos) string {
+	position := fset.Position(p)
+	return position.Filename + ":" + itoa(position.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

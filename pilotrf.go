@@ -1,0 +1,254 @@
+// Package pilotrf is a library-level reproduction of "Pilot Register
+// File: Energy Efficient Partitioned Register File for GPUs" (HPCA 2017):
+// a cycle-level GPU simulator with a partitioned FinFET register file
+// (fast STV partition + slow NTV partition), pilot-warp/compiler/hybrid
+// register profiling, a register-file-cache baseline, and the circuit
+// models (7 nm FinFET devices, FinCACTI-style array analysis) behind the
+// paper's energy numbers.
+//
+// The package is a facade over the internal packages: it exposes the
+// simulator configuration, the seventeen Table I workloads, the kernel
+// builder for writing new workloads, and one function per paper table
+// and figure (via RunExperiments / the experiments accessors).
+//
+// Quick start:
+//
+//	sim, _ := pilotrf.NewSimulator(pilotrf.PaperOptions())
+//	res, _ := sim.RunBenchmark("backprop")
+//	fmt.Printf("FRF share: %.0f%%, dynamic energy saving: %.0f%%\n",
+//	        res.FRFShare()*100, res.DynamicSavings()*100)
+package pilotrf
+
+import (
+	"fmt"
+
+	"pilotrf/internal/energy"
+	"pilotrf/internal/profile"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/sim"
+	"pilotrf/internal/workloads"
+)
+
+// Design selects the register file organization.
+type Design = regfile.Design
+
+// Register file designs.
+const (
+	// DesignMonolithicSTV is the performance baseline: a 256 KB MRF at
+	// super-threshold voltage.
+	DesignMonolithicSTV = regfile.DesignMonolithicSTV
+	// DesignMonolithicNTV is the power-aggressive baseline: the MRF at
+	// near-threshold voltage (3-cycle access).
+	DesignMonolithicNTV = regfile.DesignMonolithicNTV
+	// DesignPartitioned is the FRF+SRF split without the adaptive FRF.
+	DesignPartitioned = regfile.DesignPartitioned
+	// DesignPartitionedAdaptive is the paper's full proposal.
+	DesignPartitionedAdaptive = regfile.DesignPartitionedAdaptive
+)
+
+// Technique selects how the FRF-resident registers are identified.
+type Technique = profile.Technique
+
+// Profiling techniques.
+const (
+	ProfileStaticFirstN = profile.TechniqueStaticFirstN
+	ProfileCompiler     = profile.TechniqueCompiler
+	ProfilePilot        = profile.TechniquePilot
+	ProfileHybrid       = profile.TechniqueHybrid
+)
+
+// Scheduler selects the warp scheduling policy.
+type Scheduler = sim.Policy
+
+// Warp schedulers.
+const (
+	SchedulerLRR        = sim.PolicyLRR
+	SchedulerGTO        = sim.PolicyGTO
+	SchedulerTL         = sim.PolicyTL
+	SchedulerFetchGroup = sim.PolicyFetchGroup
+)
+
+// Options configures a Simulator. The zero value selects the MRF@STV
+// baseline with no profiling (the natural zero of each field); use
+// PaperOptions for the paper's preferred design point.
+type Options struct {
+	// SMs is the number of streaming multiprocessors (default 2; the
+	// full GTX 780 chip is 15).
+	SMs int
+	// Design is the register file organization (default
+	// DesignPartitionedAdaptive).
+	Design Design
+	// Profiling is the FRF management technique (default ProfileHybrid).
+	Profiling Technique
+	// Scheduler is the warp scheduler (default SchedulerGTO).
+	Scheduler Scheduler
+	// Scale multiplies workload CTA counts (default 1.0).
+	Scale float64
+	// FRFRegisters is the number of registers per thread kept in the
+	// fast partition (default 4, the paper's choice: 32 KB of 256 KB).
+	FRFRegisters int
+}
+
+// PaperOptions returns the paper's preferred design point: partitioned +
+// adaptive FRF, hybrid profiling, GTO scheduling, two SMs, full-scale
+// workloads.
+func PaperOptions() Options {
+	return Options{
+		SMs:          2,
+		Design:       DesignPartitionedAdaptive,
+		Profiling:    ProfileHybrid,
+		Scheduler:    SchedulerGTO,
+		Scale:        1,
+		FRFRegisters: 4,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.SMs == 0 {
+		o.SMs = 2
+	}
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.FRFRegisters == 0 {
+		o.FRFRegisters = 4
+	}
+	return o
+}
+
+// Simulator runs workloads on a configured GPU model.
+type Simulator struct {
+	opts Options
+	cfg  sim.Config
+}
+
+// NewSimulator validates the options and returns a simulator.
+func NewSimulator(opts Options) (*Simulator, error) {
+	opts = opts.withDefaults()
+	cfg := sim.DefaultConfig().WithDesign(opts.Design)
+	cfg.NumSMs = opts.SMs
+	cfg.Profiling = opts.Profiling
+	cfg.Policy = opts.Scheduler
+	cfg.RF.FRFRegs = opts.FRFRegisters
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{opts: opts, cfg: cfg}, nil
+}
+
+// Config exposes the full low-level simulator configuration for advanced
+// tuning before Run (latencies, collector counts, epoch thresholds, ...).
+func (s *Simulator) Config() *sim.Config { return &s.cfg }
+
+// Tracing types, re-exported for pipeline inspection: set a tracer with
+// sim.Config().Tracer before running.
+type (
+	// Tracer receives pipeline events.
+	Tracer = sim.Tracer
+	// TraceEvent is one pipeline occurrence.
+	TraceEvent = sim.TraceEvent
+	// RingTracer keeps the last N events (a flight recorder).
+	RingTracer = sim.RingTracer
+	// WriterTracer streams events to an io.Writer.
+	WriterTracer = sim.WriterTracer
+)
+
+// NewRingTracer returns a flight recorder holding the last n events.
+func NewRingTracer(n int) *RingTracer { return sim.NewRingTracer(n) }
+
+// Result is the outcome of running one workload.
+type Result struct {
+	// Stats holds the raw simulator measurements per kernel.
+	Stats sim.RunStats
+	// Energy is the RF energy report for the simulated design.
+	Energy energy.Report
+	// BaselineDynamicPJ is what the same accesses would cost on the
+	// MRF@STV baseline.
+	BaselineDynamicPJ float64
+}
+
+// Cycles returns the total execution time in SM cycles.
+func (r Result) Cycles() int64 { return r.Stats.TotalCycles() }
+
+// FRFShare returns the fraction of RF accesses served by the fast
+// partition (0 for monolithic designs).
+func (r Result) FRFShare() float64 { return r.Stats.FRFShare() }
+
+// DynamicSavings returns the RF dynamic-energy saving versus the MRF@STV
+// baseline (the paper's headline 54% for the full design).
+func (r Result) DynamicSavings() float64 {
+	return energy.Savings(r.Energy.DynamicPJ, r.BaselineDynamicPJ)
+}
+
+// TopNShare returns the fraction of accesses captured by each kernel's
+// top-n registers (Figure 2's metric).
+func (r Result) TopNShare(n int) float64 { return r.Stats.TopNShareByKernel(n) }
+
+// RunBenchmark runs one of the seventeen Table I benchmarks by name.
+func (s *Simulator) RunBenchmark(name string) (Result, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.runWorkload(w)
+}
+
+// RunAll runs the whole suite and returns results keyed by benchmark.
+func (s *Simulator) RunAll() (map[string]Result, error) {
+	out := make(map[string]Result, 17)
+	for _, w := range workloads.All() {
+		res, err := s.runWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		out[w.Name] = res
+	}
+	return out, nil
+}
+
+func (s *Simulator) runWorkload(w workloads.Workload) (Result, error) {
+	g, err := sim.New(s.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rs, err := g.RunKernels(w.Name, w.Scale(s.opts.Scale).Kernels)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.resultOf(rs), nil
+}
+
+func (s *Simulator) resultOf(rs sim.RunStats) Result {
+	return Result{
+		Stats:             rs,
+		Energy:            energy.ForRun(s.opts.Design, rs.PartAccesses(), rs.TotalCycles()),
+		BaselineDynamicPJ: energy.BaselineDynamicPJ(rs.TotalAccesses()),
+	}
+}
+
+// RunKernels executes custom kernels (built with NewKernelBuilder) on the
+// simulator.
+func (s *Simulator) RunKernels(name string, kernels []Kernel) (Result, error) {
+	g, err := sim.New(s.cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	rs, err := g.RunKernels(name, kernels)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.resultOf(rs), nil
+}
+
+// Benchmarks lists the seventeen Table I benchmark names.
+func Benchmarks() []string { return workloads.Names() }
+
+// BenchmarkCategory returns the paper's category (1, 2, or 3) for a
+// benchmark.
+func BenchmarkCategory(name string) (int, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return 0, err
+	}
+	return int(w.Category), nil
+}
