@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	experiments [-scale f] [-sms n] [-json out.json]
+//	experiments [-scale f] [-sms n] [-json out.json] [-http :6060]
 //	            [-only fig1,table1,fig2,fig4,table3,table4,yield,fig10,
 //	             fig11,leakage,fig12,sens,fig13,rfc,swap,area,dynamics,
 //	             voltage,scorecard,ablation]
+//
+// -http serves expvar and net/http/pprof on the given address so long
+// sweeps can be profiled live (go tool pprof http://host/debug/pprof/profile).
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"strings"
 
 	"pilotrf/internal/experiments"
+	"pilotrf/internal/telemetry"
 )
 
 func main() {
@@ -26,8 +30,19 @@ func main() {
 		only     = flag.String("only", "", "comma-separated experiment list (empty = all)")
 		jsonPath = flag.String("json", "", "also write the results as JSON to this file")
 		parallel = flag.Bool("parallel", true, "pre-run the shared simulations across all CPU cores")
+		httpAddr = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *httpAddr != "" {
+		srv, err := telemetry.StartLive(*httpAddr, telemetry.NewRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving expvar/pprof on %s\n", srv.Addr)
+	}
 
 	report := map[string]interface{}{
 		"scale": *scale,

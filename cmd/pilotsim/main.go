@@ -8,6 +8,14 @@
 //	pilotsim [-bench name] [-design mrf-stv|mrf-ntv|part|part-adaptive]
 //	         [-profile static|compiler|pilot|hybrid] [-sched gto|lrr|tl]
 //	         [-sms n] [-scale f] [-v]
+//	         [-trace-out f.json] [-events-out f.ndjson] [-metrics-out f.csv]
+//	         [-stalls] [-http :6060]
+//
+// Observability: -trace-out writes a Chrome/Perfetto trace_event JSON
+// file (open in ui.perfetto.dev), -events-out streams raw events as
+// NDJSON, -metrics-out dumps the per-epoch metric time series as CSV,
+// -stalls prints a stall-cycle attribution table per benchmark, and
+// -http serves expvar/pprof plus a /metrics page while runs execute.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
+	"pilotrf/internal/telemetry"
 	"pilotrf/internal/workloads"
 )
 
@@ -37,14 +46,19 @@ func (t *countingTracer) Event(e sim.TraceEvent) {
 
 func main() {
 	var (
-		benchName = flag.String("bench", "", "benchmark name (empty = all)")
-		design    = flag.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
-		prof      = flag.String("profile", "hybrid", "static | compiler | pilot | hybrid")
-		sched     = flag.String("sched", "gto", "gto | lrr | tl | fg")
-		sms       = flag.Int("sms", 2, "number of SMs")
-		scale     = flag.Float64("scale", 1, "CTA count scale factor")
-		verbose   = flag.Bool("v", false, "per-kernel detail")
-		traceN    = flag.Int("trace", 0, "print the first N pipeline trace events")
+		benchName  = flag.String("bench", "", "benchmark name (empty = all)")
+		design     = flag.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
+		prof       = flag.String("profile", "hybrid", "static | compiler | pilot | hybrid")
+		sched      = flag.String("sched", "gto", "gto | lrr | tl | fg")
+		sms        = flag.Int("sms", 2, "number of SMs")
+		scale      = flag.Float64("scale", 1, "CTA count scale factor")
+		verbose    = flag.Bool("v", false, "per-kernel detail")
+		traceN     = flag.Int("trace", 0, "print the first N pipeline trace events")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto trace_event JSON file")
+		eventsOut  = flag.String("events-out", "", "write pipeline events as NDJSON")
+		metricsCSV = flag.String("metrics-out", "", "write the per-epoch metric time series as CSV")
+		stalls     = flag.Bool("stalls", false, "attribute stall cycles and print the breakdown")
+		httpAddr   = flag.String("http", "", "serve expvar/pprof/metrics on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -102,10 +116,52 @@ func main() {
 		wls = []workloads.Workload{w}
 	}
 
-	var tracer *countingTracer
+	// Assemble the tracer chain: console preview, Perfetto export, and
+	// NDJSON export can all observe the same run through one tee.
+	var tracers []sim.Tracer
 	if *traceN > 0 {
-		tracer = &countingTracer{limit: *traceN}
-		cfg.Tracer = tracer
+		tracers = append(tracers, &countingTracer{limit: *traceN})
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracers = append(tracers, sim.NewPerfettoTracer(f))
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tracers = append(tracers, sim.NewNDJSONTracer(f))
+	}
+	switch len(tracers) {
+	case 0:
+	case 1:
+		cfg.Tracer = tracers[0]
+	default:
+		cfg.Tracer = sim.NewTeeTracer(tracers...)
+	}
+
+	cfg.Stalls = *stalls
+	var rec *telemetry.Recorder
+	if *metricsCSV != "" || *httpAddr != "" {
+		rec = sim.NewMetricsRecorder(0)
+		cfg.Metrics = rec
+	}
+	if *httpAddr != "" {
+		srv, err := telemetry.StartLive(*httpAddr, rec.Registry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving expvar/pprof/metrics on %s\n", srv.Addr)
 	}
 
 	fmt.Printf("%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
@@ -157,6 +213,32 @@ func main() {
 					ks.Name, ks.Cycles, ks.WarpInstrs, ks.IssueUtilization(), ks.FRFShare(), ks.PilotFraction,
 					ks.SIMTEfficiency(), ks.CollectorStalls, ks.AvgBankQueue(cfg.RF.Banks))
 			}
+		}
+		if *stalls {
+			bd, busy, smCycles := rs.StallTotals()
+			fmt.Printf("\n%s stall attribution (SM-cycles=%d busy=%d stalled=%d):\n%s\n",
+				w.Name, smCycles, busy, smCycles-busy, bd.Table())
+		}
+	}
+
+	if err := sim.FlushTracer(cfg.Tracer); err != nil {
+		fmt.Fprintf(os.Stderr, "flushing trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *metricsCSV != "" {
+		f, err := os.Create(*metricsCSV)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rec.WriteCSV(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

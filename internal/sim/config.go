@@ -21,6 +21,7 @@ import (
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/rfc"
+	"pilotrf/internal/telemetry"
 )
 
 // Policy selects the warp scheduling policy.
@@ -141,6 +142,17 @@ type Config struct {
 	// dispatch, writeback, memory, CTA/warp lifecycle, FRF mode
 	// switches). Nil disables tracing with no overhead.
 	Tracer Tracer
+
+	// Stalls enables stall-cycle attribution: every zero-issue SM-cycle
+	// is charged to exactly one telemetry.StallCause, populating
+	// KernelStats.StallBreakdown (and SMCycles/BusyCycles). Telemetry is
+	// purely observational — cycle counts are identical either way.
+	Stalls bool
+
+	// Metrics, when set, samples per-SM time-series rows into the
+	// recorder every Metrics.Epoch cycles (see NewMetricsRecorder) and
+	// implies stall attribution. Nil disables sampling with no overhead.
+	Metrics *telemetry.Recorder
 
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64

@@ -16,6 +16,10 @@ type runState struct {
 
 	warpCounter int
 	nextCTA     int
+
+	// telKernel is the recorder-scoped kernel sequence number stamped
+	// into sampled time-series rows (0 when metrics are disabled).
+	telKernel int64
 }
 
 func (r *runState) nextWarpID() int {
@@ -77,6 +81,9 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 		RegHist: stats.NewHistogram(k.Prog.NumRegs),
 	}
 	run := &runState{cfg: &g.cfg, kern: k, stats: &ks}
+	if g.cfg.Metrics != nil {
+		run.telKernel = g.cfg.Metrics.BeginKernel()
+	}
 
 	sms := make([]*sm, g.cfg.NumSMs)
 	for i := range sms {
@@ -123,6 +130,14 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 
 	ks.Cycles = cycle
 	ks.IssueSlots = uint64(cycle) * uint64(g.cfg.MaxIssuePerCycle()) * uint64(g.cfg.NumSMs)
+
+	// Flush the partial epoch each SM was in when the kernel drained so
+	// the time series covers every observed cycle.
+	for _, s := range sms {
+		if s.tel != nil {
+			s.sampleEpoch()
+		}
+	}
 
 	// Pilot fraction and adaptive statistics, averaged over SMs.
 	var pilotFracs, lowFracs []float64

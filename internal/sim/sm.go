@@ -43,6 +43,13 @@ type sm struct {
 	issuedEpoch  int // issues this cycle, fed to the adaptive controller
 	kernelLaunch bool
 	wasLowPower  bool // previous adaptive mode, for trace transitions
+
+	// Telemetry (nil unless Config.Stalls or Config.Metrics is set).
+	tel *smTelemetry
+	// telCollectorMark holds the CollectorStalls count at the start of
+	// the current cycle, so the stall classifier can tell whether an
+	// otherwise-ready warp lost only the structural collector hazard.
+	telCollectorMark uint64
 }
 
 func newSM(id int, cfg *Config, run *runState) *sm {
@@ -66,6 +73,9 @@ func newSM(id int, cfg *Config, run *runState) *sm {
 			rc.Warps = cfg.WarpSlotsPerSM
 		}
 		s.rfcCache = rfc.New(rc)
+	}
+	if cfg.Stalls || cfg.Metrics != nil {
+		s.tel = newSMTelemetry(cfg.Metrics)
 	}
 	perSched := cfg.WarpSlotsPerSM / cfg.Schedulers
 	for i := 0; i < cfg.Schedulers; i++ {
@@ -181,6 +191,9 @@ func (s *sm) busy() bool {
 func (s *sm) tick() {
 	s.runEvents()
 	s.issuedEpoch = 0
+	if s.tel != nil {
+		s.telCollectorMark = s.run.stats.CollectorStalls
+	}
 	for _, sc := range s.schedulers {
 		s.scheduleIssue(sc)
 	}
@@ -197,6 +210,9 @@ func (s *sm) tick() {
 	s.run.stats.WarpInstrs += uint64(s.issuedEpoch)
 	for b := range s.banks {
 		s.run.stats.BankQueueSum += uint64(len(s.banks[b].queue))
+	}
+	if s.tel != nil {
+		s.observeCycle()
 	}
 	s.now++
 }
@@ -449,6 +465,9 @@ func (s *sm) countAccesses(w *warpCtx, in *isa.Instruction) {
 // partition.
 func (s *sm) countPartAccess(p regfile.Partition) {
 	s.run.stats.PartAccesses[p]++
+	if s.tel != nil {
+		s.tel.cur.parts[p]++
+	}
 }
 
 // tickCollectors dispatches instructions whose operands are all gathered:

@@ -4,6 +4,7 @@ import (
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/rfc"
 	"pilotrf/internal/stats"
+	"pilotrf/internal/telemetry"
 )
 
 // KernelStats is the measurement record of one kernel execution.
@@ -57,7 +58,27 @@ type KernelStats struct {
 	// BankQueueSum accumulates the total bank queue length each cycle;
 	// divide by cycles x banks for the average per-bank backlog.
 	BankQueueSum uint64
+
+	// SMCycles counts observed SM-cycles (each tick of each busy SM)
+	// when telemetry is enabled (Config.Stalls or Config.Metrics); zero
+	// otherwise. SMs retire at different times, so this is not simply
+	// Cycles x NumSMs.
+	SMCycles uint64
+
+	// BusyCycles counts SM-cycles that issued at least one instruction;
+	// SMCycles - BusyCycles is the total stall-cycle count the
+	// StallBreakdown attributes.
+	BusyCycles uint64
+
+	// StallBreakdown charges every zero-issue SM-cycle to exactly one
+	// cause; its Total always equals StallCycles(). Populated only when
+	// telemetry is enabled.
+	StallBreakdown telemetry.StallBreakdown
 }
+
+// StallCycles returns the number of SM-cycles that issued nothing — the
+// quantity StallBreakdown attributes cause by cause.
+func (k *KernelStats) StallCycles() uint64 { return k.SMCycles - k.BusyCycles }
 
 // SIMTEfficiency returns active lanes per issued warp instruction over
 // the warp width — 1.0 for divergence-free code.
@@ -189,6 +210,17 @@ func (r RunStats) TopNShareByKernel(n int) float64 {
 		return 0
 	}
 	return float64(top) / float64(total)
+}
+
+// StallTotals sums stall attributions across kernels, returning the
+// per-cause breakdown alongside the busy and total SM-cycle counts.
+func (r RunStats) StallTotals() (bd telemetry.StallBreakdown, busy, smCycles uint64) {
+	for i := range r.Kernels {
+		bd.AddBreakdown(r.Kernels[i].StallBreakdown)
+		busy += r.Kernels[i].BusyCycles
+		smCycles += r.Kernels[i].SMCycles
+	}
+	return bd, busy, smCycles
 }
 
 // RFCTotals sums RFC statistics across kernels.

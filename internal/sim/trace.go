@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 )
@@ -74,13 +75,30 @@ type Tracer interface {
 	Event(TraceEvent)
 }
 
-// WriterTracer streams formatted events to an io.Writer.
+// WriterTracer streams formatted events to an io.Writer through an
+// internal buffer; call Flush (or FlushTracer) after the run to drain it.
 type WriterTracer struct {
 	W io.Writer
+
+	bw *bufio.Writer
 }
 
 // Event writes the event as a line.
-func (t *WriterTracer) Event(e TraceEvent) { fmt.Fprintln(t.W, e.String()) }
+func (t *WriterTracer) Event(e TraceEvent) {
+	if t.bw == nil {
+		t.bw = bufio.NewWriterSize(t.W, 1<<16)
+	}
+	t.bw.WriteString(e.String())
+	t.bw.WriteByte('\n')
+}
+
+// Flush drains buffered events to the underlying writer.
+func (t *WriterTracer) Flush() error {
+	if t.bw == nil {
+		return nil
+	}
+	return t.bw.Flush()
+}
 
 // RingTracer keeps the last N events in memory (the flight recorder used
 // by tests and for post-mortem debugging).
@@ -120,11 +138,13 @@ func (t *RingTracer) Events() []TraceEvent {
 	return out
 }
 
-// CountKind returns how many recorded events have the given kind.
+// CountKind returns how many recorded events have the given kind. The
+// ring buffer is scanned in place — order is irrelevant for counting, so
+// no copy of the events is materialized.
 func (t *RingTracer) CountKind(k TraceKind) int {
 	n := 0
-	for _, e := range t.Events() {
-		if e.Kind == k {
+	for i := 0; i < t.count; i++ {
+		if t.buf[i].Kind == k {
 			n++
 		}
 	}

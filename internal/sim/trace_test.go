@@ -139,6 +139,13 @@ func TestWriterTracerFormat(t *testing.T) {
 	var sb strings.Builder
 	wt := &WriterTracer{W: &sb}
 	wt.Event(TraceEvent{Cycle: 7, SM: 0, Kind: TraceIssue, Warp: 3, PC: 12, Detail: "IADD R0, R1, R2"})
+	// Events are buffered until Flush.
+	if sb.Len() != 0 {
+		t.Errorf("writer emitted %q before Flush", sb.String())
+	}
+	if err := wt.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	out := sb.String()
 	if !strings.Contains(out, "issue") || !strings.Contains(out, "IADD") {
 		t.Errorf("writer output = %q", out)

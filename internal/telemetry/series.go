@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// TimeSeries is a fixed-schema table of float64 rows — the storage
+// behind the per-epoch metric dumps. Appends copy the row, so callers
+// may reuse their scratch slice.
+type TimeSeries struct {
+	cols []string
+	rows [][]float64
+}
+
+// NewTimeSeries returns an empty series with the given column names.
+func NewTimeSeries(cols ...string) *TimeSeries {
+	if len(cols) == 0 {
+		panic("telemetry: time series without columns")
+	}
+	return &TimeSeries{cols: append([]string(nil), cols...)}
+}
+
+// Columns returns the column names.
+func (ts *TimeSeries) Columns() []string { return ts.cols }
+
+// Len returns the number of rows.
+func (ts *TimeSeries) Len() int { return len(ts.rows) }
+
+// Row returns row i (the backing slice; do not mutate).
+func (ts *TimeSeries) Row(i int) []float64 { return ts.rows[i] }
+
+// Append copies one row into the series. The row length must match the
+// schema.
+func (ts *TimeSeries) Append(row []float64) {
+	if len(row) != len(ts.cols) {
+		panic(fmt.Sprintf("telemetry: row of %d values against %d columns", len(row), len(ts.cols)))
+	}
+	ts.rows = append(ts.rows, append([]float64(nil), row...))
+}
+
+// WriteCSV writes the series as CSV: a header line of column names, then
+// one line per row. Values are formatted with minimal digits ('g').
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	var buf []byte
+	for i, c := range ts.cols {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, c...)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for _, row := range ts.rows {
+		buf = buf[:0]
+		for i, v := range row {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendFloat(buf, v, 'g', -1, 64)
+		}
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recorder collects epoch-sampled time-series rows plus live aggregate
+// counters. One recorder is shared by every SM of a run (and across the
+// kernels of a workload); appends are serialized internally, and the
+// registry's atomics make the live endpoint safe to read mid-run.
+type Recorder struct {
+	// Epoch is the sampling period in cycles.
+	Epoch int
+
+	mu        sync.Mutex
+	series    *TimeSeries
+	reg       *Registry
+	kernelSeq int64
+}
+
+// NewRecorder returns a recorder sampling every epochCycles into a
+// series with the given columns.
+func NewRecorder(epochCycles int, cols ...string) *Recorder {
+	if epochCycles <= 0 {
+		panic(fmt.Sprintf("telemetry: recorder epoch of %d cycles", epochCycles))
+	}
+	return &Recorder{
+		Epoch:  epochCycles,
+		series: NewTimeSeries(cols...),
+		reg:    NewRegistry(),
+	}
+}
+
+// Registry returns the recorder's live aggregate metrics.
+func (r *Recorder) Registry() *Registry { return r.reg }
+
+// Series returns the accumulated time series.
+func (r *Recorder) Series() *TimeSeries {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series
+}
+
+// Append adds one sampled row.
+func (r *Recorder) Append(row []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series.Append(row)
+}
+
+// BeginKernel advances and returns the kernel sequence number used in
+// the series' kernel column, so rows from back-to-back kernels (whose
+// cycle counters restart at zero) stay distinguishable.
+func (r *Recorder) BeginKernel() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kernelSeq++
+	return r.kernelSeq
+}
+
+// WriteCSV dumps the accumulated series as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series.WriteCSV(w)
+}

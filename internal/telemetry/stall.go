@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StallCause classifies why an SM issued nothing in a cycle. Every
+// zero-issue SM-cycle is charged to exactly one cause, so the breakdown
+// provably sums to the SM's total stall cycles.
+type StallCause uint8
+
+// Stall causes, in attribution priority order (the classifier charges
+// the first cause that applies; see the sim package for the exact
+// predicates).
+const (
+	// StallCollectorFull: a warp was ready to issue but every operand
+	// collector unit was occupied (structural hazard).
+	StallCollectorFull StallCause = iota
+	// StallMemoryPending: progress waits on an outstanding global
+	// memory transaction of at least one resident warp.
+	StallMemoryPending
+	// StallBankConflict: no warp could issue while operand collection
+	// was blocked on register bank service (queued bank reads).
+	StallBankConflict
+	// StallScoreboard: resident warps were blocked on register or
+	// predicate dependencies of non-memory producers (execution
+	// latency), or sat in a branch shadow.
+	StallScoreboard
+	// StallBarrier: the only blocked warps were waiting at a CTA
+	// barrier.
+	StallBarrier
+	// StallPilotDrain: no live warps remain — the SM drains in-flight
+	// writebacks after its last warp (pilot included) retired.
+	StallPilotDrain
+	// StallNoReadyWarp: none of the above — e.g. ready warps parked in
+	// a two-level scheduler's pending pool or fetch-group stagger.
+	StallNoReadyWarp
+
+	// NumStallCauses is the number of distinct causes.
+	NumStallCauses
+)
+
+// String returns the cause's taxonomy name.
+func (c StallCause) String() string {
+	switch c {
+	case StallCollectorFull:
+		return "collector-full"
+	case StallMemoryPending:
+		return "memory-pending"
+	case StallBankConflict:
+		return "bank-conflict"
+	case StallScoreboard:
+		return "scoreboard"
+	case StallBarrier:
+		return "barrier"
+	case StallPilotDrain:
+		return "pilot-drain"
+	case StallNoReadyWarp:
+		return "no-ready-warp"
+	default:
+		return fmt.Sprintf("stall-%d", uint8(c))
+	}
+}
+
+// StallCauses returns every cause in attribution priority order.
+func StallCauses() []StallCause {
+	out := make([]StallCause, NumStallCauses)
+	for i := range out {
+		out[i] = StallCause(i)
+	}
+	return out
+}
+
+// StallBreakdown holds stall cycles per cause, indexed by StallCause.
+type StallBreakdown [NumStallCauses]uint64
+
+// Total returns the sum over all causes — by construction the number of
+// zero-issue SM-cycles observed.
+func (b *StallBreakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// AddBreakdown accumulates another breakdown into b.
+func (b *StallBreakdown) AddBreakdown(o StallBreakdown) {
+	for i, v := range o {
+		b[i] += v
+	}
+}
+
+// Table renders the breakdown as aligned "cause cycles share%" rows
+// (share of total stall cycles), one per cause, followed by a total row.
+func (b *StallBreakdown) Table() string {
+	total := b.Total()
+	var sb strings.Builder
+	for c, v := range b {
+		share := 0.0
+		if total > 0 {
+			share = float64(v) / float64(total) * 100
+		}
+		fmt.Fprintf(&sb, "  %-15s %12d %6.2f%%\n", StallCause(c), v, share)
+	}
+	fmt.Fprintf(&sb, "  %-15s %12d %6.2f%%\n", "total", total, 100.0)
+	return sb.String()
+}

@@ -21,11 +21,13 @@ package pilotrf
 
 import (
 	"fmt"
+	"io"
 
 	"pilotrf/internal/energy"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
+	"pilotrf/internal/telemetry"
 	"pilotrf/internal/workloads"
 )
 
@@ -155,6 +157,71 @@ type (
 
 // NewRingTracer returns a flight recorder holding the last n events.
 func NewRingTracer(n int) *RingTracer { return sim.NewRingTracer(n) }
+
+// Trace exporters and combinators, re-exported from the simulator.
+type (
+	// TraceKind classifies pipeline trace events.
+	TraceKind = sim.TraceKind
+	// TeeTracer fans events out to multiple tracers.
+	TeeTracer = sim.TeeTracer
+	// FilterTracer forwards only events matching a kind set and SM id.
+	FilterTracer = sim.FilterTracer
+	// PerfettoTracer exports Chrome/Perfetto trace_event JSON.
+	PerfettoTracer = sim.PerfettoTracer
+	// NDJSONTracer exports newline-delimited JSON events.
+	NDJSONTracer = sim.NDJSONTracer
+)
+
+// NewPerfettoTracer returns a tracer writing a Chrome/Perfetto
+// trace_event JSON file to w; FlushTracer it after the run to emit the
+// footer.
+func NewPerfettoTracer(w io.Writer) *PerfettoTracer { return sim.NewPerfettoTracer(w) }
+
+// NewNDJSONTracer returns a tracer streaming events as NDJSON to w;
+// FlushTracer it after the run.
+func NewNDJSONTracer(w io.Writer) *NDJSONTracer { return sim.NewNDJSONTracer(w) }
+
+// NewTeeTracer returns a tracer forwarding each event to every given
+// tracer (nils are skipped).
+func NewTeeTracer(tracers ...Tracer) *TeeTracer { return sim.NewTeeTracer(tracers...) }
+
+// NewFilterTracer forwards events of the given kinds (none = all) from
+// the given SM (-1 = all) to next.
+func NewFilterTracer(next Tracer, smID int, kinds ...TraceKind) *FilterTracer {
+	return sim.NewFilterTracer(next, smID, kinds...)
+}
+
+// FlushTracer drains a buffering tracer (no-op for unbuffered or nil).
+func FlushTracer(t Tracer) error { return sim.FlushTracer(t) }
+
+// Telemetry types, re-exported for stall attribution and per-epoch
+// metric time series.
+type (
+	// StallCause labels why an SM issued nothing on a cycle.
+	StallCause = telemetry.StallCause
+	// StallBreakdown counts stall cycles per cause.
+	StallBreakdown = telemetry.StallBreakdown
+	// MetricsRecorder accumulates the per-epoch metric time series; write
+	// it out with WriteCSV.
+	MetricsRecorder = telemetry.Recorder
+)
+
+// EnableStallAttribution makes subsequent runs charge every zero-issue
+// SM-cycle to a StallCause, exposed per kernel through
+// Result.Stats.Kernels[i].StallBreakdown (and summed by
+// Result.Stats.StallTotals).
+func (s *Simulator) EnableStallAttribution() { s.cfg.Stalls = true }
+
+// EnableMetrics makes subsequent runs sample per-SM metrics every
+// epochCycles cycles (0 = the adaptive-FRF default epoch) into the
+// returned recorder. It also implies stall attribution, which several of
+// the sampled columns are derived from.
+func (s *Simulator) EnableMetrics(epochCycles int) *MetricsRecorder {
+	rec := sim.NewMetricsRecorder(epochCycles)
+	s.cfg.Metrics = rec
+	s.cfg.Stalls = true
+	return rec
+}
 
 // Result is the outcome of running one workload.
 type Result struct {

@@ -1,0 +1,100 @@
+package pilotrf
+
+// Tier-1 tooling gates: gofmt cleanliness (checked in-process, no
+// toolchain needed), go vet, and a race-detector pass over the
+// concurrency-bearing telemetry package. The exec-based checks skip
+// when the environment cannot run them (no go binary, no cgo) so the
+// suite stays green on minimal containers while still enforcing the
+// gates wherever the toolchain exists.
+
+import (
+	"bytes"
+	"go/format"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleGoFiles returns every non-generated .go file in the module.
+func moduleGoFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+func TestGofmt(t *testing.T) {
+	for _, path := range moduleGoFiles(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if !bytes.Equal(src, formatted) {
+			t.Errorf("%s is not gofmt-clean (run gofmt -w %s)", path, path)
+		}
+	}
+}
+
+// goTool locates the go binary, skipping the test when absent.
+func goTool(t *testing.T) string {
+	t.Helper()
+	path, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not available")
+	}
+	return path
+}
+
+func TestGoVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmd := exec.Command(goTool(t), "vet", "./...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet ./... failed: %v\n%s", err, out)
+	}
+}
+
+func TestRaceTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cmd := exec.Command(goTool(t), "test", "-race", "-count=1", "./internal/telemetry")
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		// The race detector needs cgo; a container without a C compiler
+		// is an infrastructure gap, not a code failure.
+		if strings.Contains(string(out), "requires cgo") ||
+			strings.Contains(string(out), "C compiler") {
+			t.Skipf("race detector unavailable: %s", out)
+		}
+		t.Fatalf("go test -race ./internal/telemetry failed: %v\n%s", err, out)
+	}
+}
