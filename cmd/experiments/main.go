@@ -4,35 +4,104 @@
 // Usage:
 //
 //	experiments [-scale f] [-sms n] [-json out.json] [-http :6060]
+//	            [-bench-json out.json]
 //	            [-only fig1,table1,fig2,fig4,table3,table4,yield,fig10,
 //	             fig11,leakage,fig12,sens,fig13,rfc,swap,area,dynamics,
-//	             voltage,scorecard,ablation]
+//	             voltage,scorecard,ablation,energy]
 //
 // -http serves expvar and net/http/pprof on the given address so long
 // sweeps can be profiled live (go tool pprof http://host/debug/pprof/profile).
+//
+// -bench-json runs the root bench_test.go harness once (go test
+// -run=^$ -bench=. -benchtime=1x) and writes the parsed results — ns/op
+// plus every b.ReportMetric headline quantity — as JSON to the given
+// path, then exits. It requires the go toolchain on PATH.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 
+	"pilotrf/internal/benchjson"
 	"pilotrf/internal/experiments"
 	"pilotrf/internal/telemetry"
 )
 
+// runBenchJSON executes the root benchmark harness once and writes the
+// parsed results as a benchjson.Report to outPath.
+func runBenchJSON(outPath string) error {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		return fmt.Errorf("bench-json needs the go toolchain: %w", err)
+	}
+	modOut, err := exec.Command(goBin, "env", "GOMOD").Output()
+	if err != nil {
+		return fmt.Errorf("locating module root: %w", err)
+	}
+	gomod := strings.TrimSpace(string(modOut))
+	if gomod == "" || gomod == os.DevNull {
+		return fmt.Errorf("not inside the pilotrf module (go env GOMOD is empty)")
+	}
+
+	args := []string{"test", "-run=^$", "-bench=.", "-benchtime=1x", "."}
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = filepath.Dir(gomod)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "running %s %s (in %s)\n", goBin, strings.Join(args, " "), cmd.Dir)
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchmark run failed: %w\n%s", err, out.String())
+	}
+
+	benches, err := benchjson.Parse(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines in output:\n%s", out.String())
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	rep := benchjson.NewReport("go "+strings.Join(args, " "), benches)
+	if err := rep.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmarks to %s\n", len(benches), outPath)
+	return nil
+}
+
 func main() {
 	var (
-		scale    = flag.Float64("scale", 1, "workload CTA scale factor")
-		sms      = flag.Int("sms", 2, "simulated SMs")
-		only     = flag.String("only", "", "comma-separated experiment list (empty = all)")
-		jsonPath = flag.String("json", "", "also write the results as JSON to this file")
-		parallel = flag.Bool("parallel", true, "pre-run the shared simulations across all CPU cores")
-		httpAddr = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
+		scale     = flag.Float64("scale", 1, "workload CTA scale factor")
+		sms       = flag.Int("sms", 2, "simulated SMs")
+		only      = flag.String("only", "", "comma-separated experiment list (empty = all)")
+		jsonPath  = flag.String("json", "", "also write the results as JSON to this file")
+		parallel  = flag.Bool("parallel", true, "pre-run the shared simulations across all CPU cores")
+		httpAddr  = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
+		benchJSON = flag.String("bench-json", "", "run the root benchmark harness once and write parsed results as JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *httpAddr != "" {
 		srv, err := telemetry.StartLive(*httpAddr, telemetry.NewRegistry())
@@ -280,6 +349,14 @@ func main() {
 			fmt.Printf("  Vdd=%.3f V  access=%5.2f pJ  leakage=%5.1f mW  cycles=%d  delay=%.2fx\n",
 				p.Vdd, p.AccessEnergyPJ, p.LeakageMW, p.AccessCycles, p.DelayRatio)
 		}
+		fmt.Println()
+	}
+
+	if sel("energy") {
+		fmt.Println("=== Energy ledger: per-partition attribution + swap audit (conservation-checked) ===")
+		rows := experiments.EnergyReport(r)
+		report["energy_report"] = rows
+		fmt.Print(experiments.EnergyReportText(rows))
 		fmt.Println()
 	}
 

@@ -9,6 +9,7 @@
 //	         [-profile static|compiler|pilot|hybrid] [-sched gto|lrr|tl]
 //	         [-sms n] [-scale f] [-v]
 //	         [-trace-out f.json] [-events-out f.ndjson] [-metrics-out f.csv]
+//	         [-energy-out f.csv] [-heatmap-out f.csv|f.json] [-audit-out f.csv|f.json]
 //	         [-stalls] [-http :6060]
 //
 // Observability: -trace-out writes a Chrome/Perfetto trace_event JSON
@@ -16,19 +17,47 @@
 // NDJSON, -metrics-out dumps the per-epoch metric time series as CSV,
 // -stalls prints a stall-cycle attribution table per benchmark, and
 // -http serves expvar/pprof plus a /metrics page while runs execute.
+//
+// Energy attribution: -energy-out attaches the energy ledger and writes
+// the per-SM per-epoch charge stream as CSV; -heatmap-out writes the
+// per-register access/energy heatmap (CSV, or JSON when the path ends
+// in .json); -audit-out writes the FRF swap-decision audit log (CSV or
+// .json). All three are conservation-checked against the aggregate
+// energy model before writing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"pilotrf/internal/energy"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
 	"pilotrf/internal/telemetry"
 	"pilotrf/internal/workloads"
 )
+
+// writeFile creates path and streams write into it, exiting on error.
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := write(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
 
 // countingTracer prints the first N pipeline events to stdout.
 type countingTracer struct {
@@ -57,6 +86,9 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write a Perfetto trace_event JSON file")
 		eventsOut  = flag.String("events-out", "", "write pipeline events as NDJSON")
 		metricsCSV = flag.String("metrics-out", "", "write the per-epoch metric time series as CSV")
+		energyOut  = flag.String("energy-out", "", "attach the energy ledger and write per-epoch charges as CSV")
+		heatmapOut = flag.String("heatmap-out", "", "write the per-register access/energy heatmap (CSV, or JSON for .json paths)")
+		auditOut   = flag.String("audit-out", "", "write the FRF swap-decision audit log (CSV, or JSON for .json paths)")
 		stalls     = flag.Bool("stalls", false, "attribute stall cycles and print the breakdown")
 		httpAddr   = flag.String("http", "", "serve expvar/pprof/metrics on this address (e.g. :6060)")
 	)
@@ -148,6 +180,17 @@ func main() {
 		cfg.Tracer = sim.NewTeeTracer(tracers...)
 	}
 
+	var led *energy.Ledger
+	if *energyOut != "" || *heatmapOut != "" {
+		led = energy.NewLedger(cfg.RF.Design, 0)
+		cfg.Energy = led
+	}
+	var audit *profile.AuditLog
+	if *auditOut != "" {
+		audit = &profile.AuditLog{}
+		cfg.Audit = audit
+	}
+
 	cfg.Stalls = *stalls
 	var rec *telemetry.Recorder
 	if *metricsCSV != "" || *httpAddr != "" {
@@ -164,6 +207,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving expvar/pprof/metrics on %s\n", srv.Addr)
 	}
 
+	var ledgerParts [4]uint64
+	var ledgerCycles int64
+
 	fmt.Printf("%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
 		"bench", "cycles", "accesses", "top3", "top4", "top5", "FRF%", "low%", "pilot%", "cgap")
 	for _, w := range wls {
@@ -177,6 +223,12 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", w.Name, err)
 			os.Exit(1)
+		}
+		if led != nil {
+			for p, n := range rs.PartAccesses() {
+				ledgerParts[p] += n
+			}
+			ledgerCycles += rs.TotalCycles()
 		}
 		// Compiler-vs-oracle top-4 capture gap (Figure 4's category axis).
 		var cgap, totalW float64
@@ -239,6 +291,29 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if led != nil {
+		if err := led.CheckConservation(ledgerParts, ledgerCycles); err != nil {
+			fmt.Fprintf(os.Stderr, "energy ledger conservation violated: %v\n", err)
+			os.Exit(1)
+		}
+		if *energyOut != "" {
+			writeFile(*energyOut, led.WriteEpochCSV)
+		}
+		if *heatmapOut != "" {
+			if strings.HasSuffix(*heatmapOut, ".json") {
+				writeFile(*heatmapOut, led.WriteHeatmapJSON)
+			} else {
+				writeFile(*heatmapOut, led.WriteHeatmapCSV)
+			}
+		}
+	}
+	if audit != nil {
+		if strings.HasSuffix(*auditOut, ".json") {
+			writeFile(*auditOut, audit.WriteJSON)
+		} else {
+			writeFile(*auditOut, audit.WriteCSV)
 		}
 	}
 }

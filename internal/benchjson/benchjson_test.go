@@ -1,0 +1,62 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: pilotrf
+cpu: some cpu
+BenchmarkFigure11_DynamicEnergy-8   	       1	123456789 ns/op	        53.70 saving-pct(paper:54)	        47.10 ntv-saving-pct(paper:47)
+BenchmarkLeakageSavings   	    5000	    250000 ns/op	        39.00 saving-pct(paper:39)
+PASS
+ok  	pilotrf	4.2s
+`
+
+func TestParseLine(t *testing.T) {
+	b, ok := ParseLine("BenchmarkFigure11_DynamicEnergy-8   	       1	123456789 ns/op	        53.70 saving-pct(paper:54)")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if b.Name != "BenchmarkFigure11_DynamicEnergy" || b.Procs != 8 {
+		t.Errorf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 123456789 {
+		t.Errorf("iterations/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if got := b.Metrics["saving-pct(paper:54)"]; got != 53.70 {
+		t.Errorf("metric = %v, want 53.70", got)
+	}
+
+	for _, line := range []string{"PASS", "ok  \tpilotrf\t4.2s", "goos: linux", ""} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("non-benchmark line %q parsed as benchmark", line)
+		}
+	}
+}
+
+func TestParseAndReport(t *testing.T) {
+	bs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(bs))
+	}
+	if bs[1].Name != "BenchmarkLeakageSavings" || bs[1].Procs != 1 {
+		t.Errorf("second benchmark = %+v", bs[1])
+	}
+
+	var sb strings.Builder
+	rep := NewReport("go test -bench=.", bs)
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "` + Schema + `"`, `"command"`, `"ns_per_op"`, "saving-pct(paper:39)"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON report missing %s", want)
+		}
+	}
+}

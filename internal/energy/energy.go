@@ -49,6 +49,35 @@ func DynamicPJ(d regfile.Design, parts [4]uint64) float64 {
 	return total
 }
 
+// PerAccessTable returns the per-access energies used by DynamicPJ for a
+// design, indexed by regfile.Partition — the pricing table streaming
+// attribution layers (the Ledger, the metrics recorder) apply per epoch.
+// Pricing a set of access counts with this table and summing in
+// partition order reproduces DynamicPJ bit-exactly.
+func PerAccessTable(d regfile.Design) [4]float64 {
+	return perAccessPJ(mrfVdd(d))
+}
+
+// LeakageComponentsMW splits LeakageMW over the partitions, indexed by
+// regfile.Partition: monolithic designs leak entirely in the MRF entry;
+// partitioned designs leak in the FRF (high-power entry — the adaptive
+// low-cap mode changes access energy, not array leakage) and the SRF.
+// Summing the components in partition order reproduces LeakageMW(d)
+// bit-exactly.
+func LeakageComponentsMW(d regfile.Design) [4]float64 {
+	var c [4]float64
+	switch d {
+	case regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV:
+		c[regfile.PartMRF] = LeakageMW(d)
+	case regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive:
+		c[regfile.PartFRFHigh] = fincacti.FRFConfig(fincacti.ModeNormal).LeakagePowerMW()
+		c[regfile.PartSRF] = fincacti.SRFConfig().LeakagePowerMW()
+	default:
+		panic(fmt.Sprintf("energy: unknown design %v", d))
+	}
+	return c
+}
+
 // LeakageMW returns the total RF leakage power for a design in milliwatts.
 func LeakageMW(d regfile.Design) float64 {
 	switch d {

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"pilotrf/internal/workloads"
+)
+
+func TestEnergyReportConservesAndAudits(t *testing.T) {
+	rows := EnergyReport(testRunner())
+	if len(rows) != len(workloads.All()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(workloads.All()))
+	}
+	for _, r := range rows {
+		if !r.Conserved {
+			t.Errorf("%s: ledger does not conserve energy", r.Benchmark)
+		}
+		if r.DynamicPJ <= 0 || r.LeakagePJ <= 0 {
+			t.Errorf("%s: non-positive energy: dyn=%v leak=%v", r.Benchmark, r.DynamicPJ, r.LeakagePJ)
+		}
+		var sum float64
+		for _, pj := range r.DynamicByPartPJ {
+			sum += pj
+		}
+		if sum != r.DynamicPJ {
+			t.Errorf("%s: per-partition dynamic %v != total %v", r.Benchmark, sum, r.DynamicPJ)
+		}
+		if r.Epochs == 0 || r.HeatCells == 0 {
+			t.Errorf("%s: empty attribution: epochs=%d cells=%d", r.Benchmark, r.Epochs, r.HeatCells)
+		}
+		if r.Audit.CompilerSeed == 0 {
+			t.Errorf("%s: hybrid run recorded no compiler seeds", r.Benchmark)
+		}
+	}
+
+	text := EnergyReportText(rows)
+	if !strings.Contains(text, "ledger conservation") {
+		t.Error("report text missing conservation summary")
+	}
+	if got := strings.Count(text, "\n"); got != len(rows)+2 {
+		t.Errorf("report text has %d lines, want %d", got, len(rows)+2)
+	}
+}

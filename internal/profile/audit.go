@@ -1,0 +1,212 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"pilotrf/internal/isa"
+)
+
+// PlacementReason explains why a register is resident in the FRF at the
+// moment a swapping-table configuration lands.
+type PlacementReason uint8
+
+// Placement reasons, in lifecycle order.
+const (
+	// PlaceStaticDefault marks an identity-mapped resident: the register
+	// sits in the FRF only because its number is below the FRF size (no
+	// profiling evidence placed it).
+	PlaceStaticDefault PlacementReason = iota
+	// PlaceCompilerSeed marks a register promoted at kernel launch by
+	// the compiler's static census (TechniqueCompiler and the seed phase
+	// of TechniqueHybrid).
+	PlaceCompilerSeed
+	// PlacePilotMeasured marks a register kept or promoted by the pilot
+	// warp's measured counts when the pilot completed.
+	PlacePilotMeasured
+	// PlaceHybridReplacement marks a hybrid-technique register that the
+	// pilot result newly promoted, displacing a compiler-seeded or
+	// default resident — the replacements that make hybrid beat the pure
+	// compiler profile in Figure 4.
+	PlaceHybridReplacement
+	// PlaceOracle marks a register installed from a measured prior run
+	// (TechniqueOracle).
+	PlaceOracle
+)
+
+// String returns the reason name used in the audit log exports.
+func (r PlacementReason) String() string {
+	switch r {
+	case PlaceStaticDefault:
+		return "static-default"
+	case PlaceCompilerSeed:
+		return "compiler-seed"
+	case PlacePilotMeasured:
+		return "pilot-measured"
+	case PlaceHybridReplacement:
+		return "hybrid-replacement"
+	case PlaceOracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("REASON_%d", uint8(r))
+	}
+}
+
+// PlacementEvent records one FRF residency decision: which register was
+// resident after a swapping-table (re)configuration, which technique and
+// reason put it there, at what cycle, and with what access-count
+// evidence.
+type PlacementEvent struct {
+	// Kernel is the program name the decision belongs to.
+	Kernel string
+	// SM is the deciding SM's id.
+	SM int
+	// Cycle is the kernel-local cycle of the configuration (0 for the
+	// launch-time seed).
+	Cycle int64
+	// Technique is the configured profiling technique.
+	Technique Technique
+	// Reason explains this register's residency.
+	Reason PlacementReason
+	// Reg is the resident architectural register.
+	Reg isa.Reg
+	// Slot is the physical FRF slot the register occupies.
+	Slot isa.Reg
+	// Count is the access-count evidence behind the decision: the static
+	// census count for compiler placements, the pilot counter value for
+	// pilot placements, 0 when the placement is positional.
+	Count uint64
+}
+
+// AuditLog accumulates placement events across SMs and kernels — the
+// swap-decision audit trail. Appends are serialized internally; they
+// happen only at kernel launch and pilot completion, never on the
+// per-access path.
+type AuditLog struct {
+	mu     sync.Mutex
+	events []PlacementEvent
+}
+
+// Record appends one placement event.
+func (l *AuditLog) Record(e PlacementEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the recorded events in arrival order.
+func (l *AuditLog) Events() []PlacementEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]PlacementEvent(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// CountReason returns how many recorded events carry the given reason.
+func (l *AuditLog) CountReason(r PlacementReason) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for i := range l.events {
+		if l.events[i].Reason == r {
+			n++
+		}
+	}
+	return n
+}
+
+// AuditSchema tags the audit-log exports (WriteCSV and WriteJSON).
+const AuditSchema = "pilotrf-swap-audit/v1"
+
+// auditCSVColumns is the WriteCSV header.
+var auditCSVColumns = []string{
+	"kernel", "sm", "cycle", "technique", "reason", "reg", "slot", "count",
+}
+
+// WriteCSV dumps the audit trail as CSV: a "# schema:" comment, a
+// header, then one line per placement event.
+func (l *AuditLog) WriteCSV(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	buf := []byte("# schema: " + AuditSchema + "\n")
+	for i, c := range auditCSVColumns {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, c...)
+	}
+	buf = append(buf, '\n')
+	if _, err := w.Write(buf); err != nil {
+		return err
+	}
+	for i := range l.events {
+		e := &l.events[i]
+		buf = buf[:0]
+		buf = append(buf, e.Kernel...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.SM), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, e.Cycle, 10)
+		buf = append(buf, ',')
+		buf = append(buf, e.Technique.String()...)
+		buf = append(buf, ',')
+		buf = append(buf, e.Reason.String()...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.Reg), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.Slot), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendUint(buf, e.Count, 10)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// auditEventJSON is the wire shape of one WriteJSON event.
+type auditEventJSON struct {
+	Kernel    string `json:"kernel"`
+	SM        int    `json:"sm"`
+	Cycle     int64  `json:"cycle"`
+	Technique string `json:"technique"`
+	Reason    string `json:"reason"`
+	Reg       int    `json:"reg"`
+	Slot      int    `json:"slot"`
+	Count     uint64 `json:"count"`
+}
+
+// auditJSON is the WriteJSON document: the schema tag plus the events.
+type auditJSON struct {
+	Schema string           `json:"schema"`
+	Events []auditEventJSON `json:"events"`
+}
+
+// WriteJSON dumps the audit trail as a self-describing JSON document
+// ({"schema": ..., "events": [...]}).
+func (l *AuditLog) WriteJSON(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := auditJSON{Schema: AuditSchema, Events: make([]auditEventJSON, len(l.events))}
+	for i := range l.events {
+		e := &l.events[i]
+		out.Events[i] = auditEventJSON{
+			Kernel: e.Kernel, SM: e.SM, Cycle: e.Cycle,
+			Technique: e.Technique.String(), Reason: e.Reason.String(),
+			Reg: int(e.Reg), Slot: int(e.Slot), Count: e.Count,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

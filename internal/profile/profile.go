@@ -146,9 +146,20 @@ type Controller struct {
 	TopN      int
 	FRFRegs   int
 
+	// SM identifies the owning SM in audit events.
+	SM int
+	// Audit, when non-nil, receives one PlacementEvent per FRF-resident
+	// register at every swapping-table (re)configuration — the
+	// swap-decision audit trail. Nil disables auditing with no overhead.
+	Audit *AuditLog
+	// Now supplies the current cycle for audit timestamps (nil stamps
+	// cycle 0).
+	Now func() int64
+
 	mapper   regfile.Mapper
 	counters *Counters
 
+	kernel    *kernel.Program
 	oracle    []isa.Reg
 	pilotDone bool
 }
@@ -182,12 +193,16 @@ func (c *Controller) PilotDone() bool { return c.pilotDone }
 // counters. pilotWarp is the SM-local slot of the first launched warp.
 func (c *Controller) KernelLaunch(p *kernel.Program, pilotWarp int) {
 	c.pilotDone = false
+	c.kernel = p
 	c.mapper.Reset()
+	var promoted map[isa.Reg]bool
 	switch c.Technique {
 	case TechniqueStaticFirstN:
 		// Identity mapping: R0..R(n-1) stay in the FRF.
 	case TechniqueCompiler, TechniqueHybrid:
-		c.mapper.Configure(CompilerTopN(p, c.TopN), c.FRFRegs)
+		top := CompilerTopN(p, c.TopN)
+		c.mapper.Configure(top, c.FRFRegs)
+		promoted = regSet(top, c.Audit != nil)
 	case TechniquePilot:
 		// Identity until the pilot reports.
 	case TechniqueOracle:
@@ -199,9 +214,71 @@ func (c *Controller) KernelLaunch(p *kernel.Program, pilotWarp int) {
 			top = top[:c.TopN]
 		}
 		c.mapper.Configure(top, c.FRFRegs)
+		promoted = regSet(top, c.Audit != nil)
+	}
+	if c.Audit != nil {
+		census := p.StaticRegCounts()
+		c.auditConfiguration(func(r isa.Reg) (PlacementReason, uint64) {
+			switch {
+			case promoted[r] && c.Technique == TechniqueOracle:
+				return PlaceOracle, census.Count(int(r))
+			case promoted[r]:
+				return PlaceCompilerSeed, census.Count(int(r))
+			default:
+				return PlaceStaticDefault, 0
+			}
+		})
 	}
 	if c.usesPilot() {
 		c.counters.StartKernel(pilotWarp)
+	}
+}
+
+// regSet builds a membership set when enabled (auditing off skips the
+// allocation entirely).
+func regSet(regs []isa.Reg, enabled bool) map[isa.Reg]bool {
+	if !enabled {
+		return nil
+	}
+	set := make(map[isa.Reg]bool, len(regs))
+	for _, r := range regs {
+		set[r] = true
+	}
+	return set
+}
+
+// residents collects the architected registers currently mapped into the
+// FRF for the resident kernel.
+func (c *Controller) residents() map[isa.Reg]bool {
+	set := make(map[isa.Reg]bool, c.FRFRegs)
+	for a := 0; a < c.kernel.NumRegs; a++ {
+		r := isa.Reg(a)
+		if int(c.mapper.Lookup(r)) < c.FRFRegs {
+			set[r] = true
+		}
+	}
+	return set
+}
+
+// auditConfiguration records one PlacementEvent per FRF-resident
+// register, asking reasonFor to explain each residency.
+func (c *Controller) auditConfiguration(reasonFor func(r isa.Reg) (PlacementReason, uint64)) {
+	var now int64
+	if c.Now != nil {
+		now = c.Now()
+	}
+	for a := 0; a < c.kernel.NumRegs; a++ {
+		r := isa.Reg(a)
+		slot := c.mapper.Lookup(r)
+		if int(slot) >= c.FRFRegs {
+			continue
+		}
+		reason, count := reasonFor(r)
+		c.Audit.Record(PlacementEvent{
+			Kernel: c.kernel.Name, SM: c.SM, Cycle: now,
+			Technique: c.Technique, Reason: reason,
+			Reg: r, Slot: slot, Count: count,
+		})
 	}
 }
 
@@ -227,5 +304,20 @@ func (c *Controller) OnWarpComplete(warp int) {
 	}
 	c.counters.PilotExited()
 	c.pilotDone = true
+	var prev map[isa.Reg]bool
+	if c.Audit != nil {
+		prev = c.residents()
+	}
 	c.mapper.Configure(c.counters.TopN(c.TopN), c.FRFRegs)
+	if c.Audit != nil {
+		c.auditConfiguration(func(r isa.Reg) (PlacementReason, uint64) {
+			reason := PlacePilotMeasured
+			if c.Technique == TechniqueHybrid && !prev[r] {
+				// The pilot displaced a compiler-seeded or default
+				// resident — the hybrid replacement Figure 4 credits.
+				reason = PlaceHybridReplacement
+			}
+			return reason, uint64(c.counters.Count(r))
+		})
+	}
 }

@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 
+	"pilotrf/internal/energy"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
@@ -154,6 +155,20 @@ type Config struct {
 	// implies stall attribution. Nil disables sampling with no overhead.
 	Metrics *telemetry.Recorder
 
+	// Energy, when set, streams energy attribution into the ledger:
+	// every serviced bank transaction is charged to a (component, epoch,
+	// warp, architectural-register) bucket, folded into the ledger at
+	// epoch and kernel boundaries. The ledger's design must match
+	// RF.Design so its pricing reproduces the aggregate energy report
+	// bit-exactly. Nil disables attribution with no overhead.
+	Energy *energy.Ledger
+
+	// Audit, when set, records a profile.PlacementEvent for every
+	// FRF-resident register at each swapping-table (re)configuration —
+	// the swap-decision audit trail. Nil disables auditing with no
+	// overhead.
+	Audit *profile.AuditLog
+
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
 
@@ -235,6 +250,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: the RFC fronts a monolithic MRF, not a partitioned design")
 	case c.ProfTopN <= 0:
 		return fmt.Errorf("sim: profiling top-N %d", c.ProfTopN)
+	case c.Energy != nil && c.Energy.Design() != c.RF.Design:
+		return fmt.Errorf("sim: energy ledger priced for %v but RF design is %v",
+			c.Energy.Design(), c.RF.Design)
 	}
 	return nil
 }

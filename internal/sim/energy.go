@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"pilotrf/internal/energy"
+	"pilotrf/internal/isa"
+)
+
+// smEnergy is the per-SM energy-attribution state, allocated only when a
+// ledger is attached (Config.Energy). The per-access path does two plain
+// integer increments on this struct — no locks, no allocations, no
+// floats; the shared ledger is only touched at epoch and kernel
+// boundaries, and all pricing happens there or later. Keeping the
+// charge path integer-only is what makes the ledger's conservation
+// invariant bit-exact: the final dynamic figure is computed by the very
+// same formula the aggregate report uses, over identical integer counts.
+type smEnergy struct {
+	led    *energy.Ledger
+	kernel int64 // ledger-scoped kernel sequence number
+
+	epoch        int
+	cycleInEpoch int
+	parts        [4]uint64 // accesses this epoch, by partition
+
+	// heat is the per-(warp slot, architectural register) access matrix
+	// for the current kernel, stored flat: heat[warp*isa.MaxRegs+reg].
+	heat [][4]uint64
+
+	// perAccess and leakMW cache the ledger's pricing so epoch trace
+	// samples never lock.
+	perAccess [4]float64
+	leakMW    float64
+}
+
+// newSMEnergy builds the attribution state for one SM.
+func newSMEnergy(led *energy.Ledger, kernelSeq int64, warpSlots int) *smEnergy {
+	return &smEnergy{
+		led:       led,
+		kernel:    kernelSeq,
+		epoch:     led.EpochCycles(),
+		heat:      make([][4]uint64, warpSlots*isa.MaxRegs),
+		perAccess: led.PerAccessPJ(),
+		leakMW:    led.LeakageMW(),
+	}
+}
+
+// energyCycle runs at the end of every tick when a ledger is attached,
+// folding the accumulated charges into the ledger at epoch boundaries.
+func (s *sm) energyCycle() {
+	en := s.en
+	en.cycleInEpoch++
+	if en.cycleInEpoch >= en.epoch {
+		s.flushEnergyEpoch()
+	}
+}
+
+// flushEnergyEpoch appends the (possibly partial) epoch the SM is in to
+// the ledger and emits a TraceEnergy counter sample when tracing.
+func (s *sm) flushEnergyEpoch() {
+	en := s.en
+	if en.cycleInEpoch == 0 {
+		return
+	}
+	ec := energy.EpochCharge{
+		Kernel: en.kernel, SM: s.id, Cycle: s.now,
+		Cycles: int64(en.cycleInEpoch), Accesses: en.parts,
+	}
+	en.led.AddEpoch(ec)
+	if s.cfg.Tracer != nil {
+		s.traceEnergy(ec)
+	}
+	en.parts = [4]uint64{}
+	en.cycleInEpoch = 0
+}
+
+// traceEnergy prices one epoch charge and hands it to the tracer as a
+// TraceEnergy event (the Perfetto exporter renders it as per-component
+// counter tracks).
+func (s *sm) traceEnergy(ec energy.EpochCharge) {
+	en := s.en
+	smp := &EnergySample{Cycles: ec.Cycles}
+	for p, n := range ec.Accesses {
+		smp.DynamicPJ[p] = float64(n) * en.perAccess[p]
+	}
+	smp.LeakagePJ = en.leakMW * float64(ec.Cycles) / energy.ClockGHz
+	s.cfg.Tracer.Event(TraceEvent{
+		Cycle: s.now, SM: s.id, Kind: TraceEnergy, Warp: -1, PC: -1,
+		Detail: "epoch energy", Energy: smp,
+	})
+}
+
+// foldHeat flushes the SM's per-register access matrix into the ledger
+// as heat cells; called once per kernel when the SM drains (SM state is
+// fresh per kernel, so no reset is needed).
+func (s *sm) foldHeat() {
+	en := s.en
+	var cells []energy.HeatCell
+	for i := range en.heat {
+		if en.heat[i] == ([4]uint64{}) {
+			continue
+		}
+		cells = append(cells, energy.HeatCell{
+			Kernel: en.kernel, SM: s.id,
+			Warp: i / isa.MaxRegs, Reg: isa.Reg(i % isa.MaxRegs),
+			Accesses: en.heat[i],
+		})
+	}
+	if len(cells) > 0 {
+		en.led.AddHeat(cells)
+	}
+}

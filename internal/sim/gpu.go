@@ -20,6 +20,9 @@ type runState struct {
 	// telKernel is the recorder-scoped kernel sequence number stamped
 	// into sampled time-series rows (0 when metrics are disabled).
 	telKernel int64
+	// enKernel is the ledger-scoped kernel sequence number stamped into
+	// energy charges (0 when the ledger is disabled).
+	enKernel int64
 }
 
 func (r *runState) nextWarpID() int {
@@ -84,6 +87,9 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 	if g.cfg.Metrics != nil {
 		run.telKernel = g.cfg.Metrics.BeginKernel()
 	}
+	if g.cfg.Energy != nil {
+		run.enKernel = g.cfg.Energy.BeginKernel()
+	}
 
 	sms := make([]*sm, g.cfg.NumSMs)
 	for i := range sms {
@@ -132,11 +138,19 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 	ks.IssueSlots = uint64(cycle) * uint64(g.cfg.MaxIssuePerCycle()) * uint64(g.cfg.NumSMs)
 
 	// Flush the partial epoch each SM was in when the kernel drained so
-	// the time series covers every observed cycle.
+	// the time series and the energy ledger cover every observed cycle,
+	// and fold each SM's per-register access matrix into the heatmap.
 	for _, s := range sms {
 		if s.tel != nil {
 			s.sampleEpoch()
 		}
+		if s.en != nil {
+			s.flushEnergyEpoch()
+			s.foldHeat()
+		}
+	}
+	if g.cfg.Energy != nil {
+		g.cfg.Energy.EndKernel(cycle)
 	}
 
 	// Pilot fraction and adaptive statistics, averaged over SMs.

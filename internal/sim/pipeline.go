@@ -96,7 +96,7 @@ func (s *sm) tickBanks() {
 		bank.queue = bank.queue[:len(bank.queue)-1]
 
 		part, lat := s.routeAccess(req)
-		s.countPartAccess(part)
+		s.countPartAccess(part, req.warp.slot, req.arch)
 		if s.cfg.Tracer != nil {
 			kind := "read"
 			if req.isWrite {

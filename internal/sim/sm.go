@@ -46,6 +46,8 @@ type sm struct {
 
 	// Telemetry (nil unless Config.Stalls or Config.Metrics is set).
 	tel *smTelemetry
+	// Energy attribution (nil unless Config.Energy is set).
+	en *smEnergy
 	// telCollectorMark holds the CollectorStalls count at the start of
 	// the current cycle, so the stall classifier can tell whether an
 	// otherwise-ready warp lost only the structural collector hazard.
@@ -74,8 +76,16 @@ func newSM(id int, cfg *Config, run *runState) *sm {
 		}
 		s.rfcCache = rfc.New(rc)
 	}
+	if cfg.Audit != nil {
+		s.profCtl.SM = id
+		s.profCtl.Audit = cfg.Audit
+		s.profCtl.Now = func() int64 { return s.now }
+	}
 	if cfg.Stalls || cfg.Metrics != nil {
-		s.tel = newSMTelemetry(cfg.Metrics)
+		s.tel = newSMTelemetry(cfg.Metrics, cfg.RF.Design)
+	}
+	if cfg.Energy != nil {
+		s.en = newSMEnergy(cfg.Energy, run.enKernel, cfg.WarpSlotsPerSM)
 	}
 	perSched := cfg.WarpSlotsPerSM / cfg.Schedulers
 	for i := 0; i < cfg.Schedulers; i++ {
@@ -213,6 +223,9 @@ func (s *sm) tick() {
 	}
 	if s.tel != nil {
 		s.observeCycle()
+	}
+	if s.en != nil {
+		s.energyCycle()
 	}
 	s.now++
 }
@@ -462,11 +475,18 @@ func (s *sm) countAccesses(w *warpCtx, in *isa.Instruction) {
 }
 
 // countPartAccess attributes one serviced bank transaction to a physical
-// partition.
-func (s *sm) countPartAccess(p regfile.Partition) {
+// partition — and, when the energy ledger is attached, to the issuing
+// warp slot and architectural register. The statistics counter and the
+// ledger buckets increment in lockstep here, which is what makes the
+// ledger's conservation against KernelStats.PartAccesses exact.
+func (s *sm) countPartAccess(p regfile.Partition, warp int, arch isa.Reg) {
 	s.run.stats.PartAccesses[p]++
 	if s.tel != nil {
 		s.tel.cur.parts[p]++
+	}
+	if s.en != nil {
+		s.en.parts[p]++
+		s.en.heat[warp*isa.MaxRegs+int(arch)][p]++
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"pilotrf/internal/energy"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/telemetry"
 )
@@ -20,12 +21,29 @@ import (
 //	busy       cycles with at least one issue
 //	stall_*    zero-issue cycles charged to each cause; the stall
 //	           columns sum to (epoch length - busy)
+//	e_*_pj     dynamic energy charged to each partition this epoch
+//	           (access deltas priced with energy.PerAccessTable), plus
+//	           the SM's leakage integral over the epoch (v2 columns)
 var MetricColumns = []string{
 	"kernel", "cycle", "sm", "issued", "util",
 	"mrf", "frf_high", "frf_low", "srf", "bankq", "low_power", "busy",
 	"stall_collector_full", "stall_memory_pending", "stall_bank_conflict",
 	"stall_scoreboard", "stall_barrier", "stall_pilot_drain", "stall_no_ready_warp",
+	"e_mrf_pj", "e_frf_high_pj", "e_frf_low_pj", "e_srf_pj", "e_leak_pj",
 }
+
+// MetricsSchemaVersion is the version number of the per-epoch metrics
+// schema; it must advance in lockstep with MetricColumns (v1 = the
+// 19-column PR 1 schema, v2 adds the five energy columns).
+const MetricsSchemaVersion = 2
+
+// MetricsSchema is the versioned schema tag emitted as a "# schema:"
+// comment line ahead of the metrics CSV header.
+const MetricsSchema = "pilotrf-epoch-metrics/v2"
+
+// metricsSchemaColumns maps each schema version to its column count, so
+// tests can assert the header and version stay in lockstep.
+var metricsSchemaColumns = map[int]int{1: 19, 2: 24}
 
 // NewMetricsRecorder returns a telemetry recorder with the simulator's
 // column schema, sampling every epochCycles (0 selects the adaptive
@@ -34,7 +52,9 @@ func NewMetricsRecorder(epochCycles int) *telemetry.Recorder {
 	if epochCycles <= 0 {
 		epochCycles = regfile.DefaultAdaptiveConfig().EpochCycles
 	}
-	return telemetry.NewRecorder(epochCycles, MetricColumns...)
+	rec := telemetry.NewRecorder(epochCycles, MetricColumns...)
+	rec.SetSchema(MetricsSchema)
+	return rec
 }
 
 // telSnap is a point-in-time copy of an SM's cumulative telemetry
@@ -59,6 +79,12 @@ type smTelemetry struct {
 	cur          telSnap // cumulative counters for this SM
 	last         telSnap // snapshot at the previous epoch boundary
 
+	// eTab and leakMW cache the design's pricing so the epoch sampler
+	// can render the v2 energy columns without consulting the energy
+	// package per sample.
+	eTab   [4]float64
+	leakMW float64
+
 	// Shared live aggregates (nil when no recorder is attached).
 	cIssued  *telemetry.Counter
 	cBusy    *telemetry.Counter
@@ -71,12 +97,14 @@ type smTelemetry struct {
 // newSMTelemetry builds the observation state for one SM, binding the
 // shared registry counters once so the per-cycle path never consults the
 // registry.
-func newSMTelemetry(rec *telemetry.Recorder) *smTelemetry {
+func newSMTelemetry(rec *telemetry.Recorder, d regfile.Design) *smTelemetry {
 	t := &smTelemetry{rec: rec}
 	if rec == nil {
 		return t
 	}
 	t.epoch = rec.Epoch
+	t.eTab = energy.PerAccessTable(d)
+	t.leakMW = energy.LeakageMW(d)
 	reg := rec.Registry()
 	t.cIssued = reg.Counter("sim.issued")
 	t.cBusy = reg.Counter("sim.busy_cycles")
@@ -191,6 +219,7 @@ func (s *sm) sampleEpoch() {
 	if a := s.rf.Adaptive(); a != nil && a.LowPower() {
 		lowPower = 1
 	}
+	eLeak := t.leakMW * float64(n) / energy.ClockGHz
 	row := [...]float64{
 		float64(s.run.telKernel), float64(s.now), float64(s.id),
 		float64(issued), util,
@@ -204,6 +233,11 @@ func (s *sm) sampleEpoch() {
 		float64(stalls[telemetry.StallBarrier]),
 		float64(stalls[telemetry.StallPilotDrain]),
 		float64(stalls[telemetry.StallNoReadyWarp]),
+		float64(parts[regfile.PartMRF]) * t.eTab[regfile.PartMRF],
+		float64(parts[regfile.PartFRFHigh]) * t.eTab[regfile.PartFRFHigh],
+		float64(parts[regfile.PartFRFLow]) * t.eTab[regfile.PartFRFLow],
+		float64(parts[regfile.PartSRF]) * t.eTab[regfile.PartSRF],
+		eLeak,
 	}
 	t.rec.Append(row[:])
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -197,17 +198,40 @@ func TestMetricsCSVHasHeaderAndRows(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
-	if len(lines) < 2 {
-		t.Fatalf("CSV has %d lines, want header + rows", len(lines))
+	if len(lines) < 3 {
+		t.Fatalf("CSV has %d lines, want schema + header + rows", len(lines))
 	}
-	if lines[0] != strings.Join(MetricColumns, ",") {
-		t.Errorf("CSV header = %q", lines[0])
+	if lines[0] != "# schema: "+MetricsSchema {
+		t.Errorf("CSV schema line = %q", lines[0])
+	}
+	if lines[1] != strings.Join(MetricColumns, ",") {
+		t.Errorf("CSV header = %q", lines[1])
 	}
 	want := len(MetricColumns)
-	for i, line := range lines[1:] {
+	for i, line := range lines[2:] {
 		if got := strings.Count(line, ",") + 1; got != want {
 			t.Errorf("row %d has %d fields, want %d", i, got, want)
 		}
+	}
+}
+
+// TestMetricsSchemaVersionLockstep pins the versioned header: the schema
+// tag must carry the current version number, and the column count must
+// match what that version declares — so adding a column without bumping
+// the version (or vice versa) fails here.
+func TestMetricsSchemaVersionLockstep(t *testing.T) {
+	want, ok := metricsSchemaColumns[MetricsSchemaVersion]
+	if !ok {
+		t.Fatalf("MetricsSchemaVersion %d missing from metricsSchemaColumns", MetricsSchemaVersion)
+	}
+	if got := len(MetricColumns); got != want {
+		t.Errorf("len(MetricColumns) = %d, schema v%d declares %d", got, MetricsSchemaVersion, want)
+	}
+	if suffix := fmt.Sprintf("/v%d", MetricsSchemaVersion); !strings.HasSuffix(MetricsSchema, suffix) {
+		t.Errorf("MetricsSchema %q does not end in %q", MetricsSchema, suffix)
+	}
+	if rec := NewMetricsRecorder(50); rec.Schema() != MetricsSchema {
+		t.Errorf("recorder schema = %q, want %q", rec.Schema(), MetricsSchema)
 	}
 }
 

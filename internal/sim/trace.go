@@ -22,6 +22,9 @@ const (
 	TracePilotDone
 	TraceModeSwitch
 	TraceBarrier
+	// TraceEnergy carries one SM-epoch energy sample (TraceEvent.Energy);
+	// the Perfetto exporter renders it as per-component counter tracks.
+	TraceEnergy
 )
 
 // String returns the event kind name.
@@ -49,9 +52,21 @@ func (k TraceKind) String() string {
 		return "mode-switch"
 	case TraceBarrier:
 		return "barrier"
+	case TraceEnergy:
+		return "energy"
 	default:
 		return fmt.Sprintf("trace-%d", uint8(k))
 	}
+}
+
+// EnergySample is the payload of a TraceEnergy event: the dynamic
+// energy charged to each partition (indexed by regfile.Partition) over
+// the epoch that just ended, the SM's leakage integral over the same
+// interval, and the interval length.
+type EnergySample struct {
+	DynamicPJ [4]float64
+	LeakagePJ float64
+	Cycles    int64
 }
 
 // TraceEvent is one pipeline occurrence.
@@ -62,6 +77,9 @@ type TraceEvent struct {
 	Warp   int // SM-local warp slot, -1 when not warp-specific
 	PC     int // -1 when not instruction-specific
 	Detail string
+	// Energy carries the epoch sample of a TraceEnergy event (nil for
+	// every other kind).
+	Energy *EnergySample
 }
 
 // String renders the event as one log line.

@@ -119,20 +119,42 @@ func NewNDJSONTracer(w io.Writer) *NDJSONTracer {
 
 // ndjsonEvent is the wire shape of one NDJSON line.
 type ndjsonEvent struct {
-	Cycle  int64  `json:"cycle"`
-	SM     int    `json:"sm"`
-	Kind   string `json:"kind"`
-	Warp   int    `json:"warp"`
-	PC     int    `json:"pc"`
-	Detail string `json:"detail,omitempty"`
+	Cycle  int64         `json:"cycle"`
+	SM     int           `json:"sm"`
+	Kind   string        `json:"kind"`
+	Warp   int           `json:"warp"`
+	PC     int           `json:"pc"`
+	Detail string        `json:"detail,omitempty"`
+	Energy *ndjsonEnergy `json:"energy,omitempty"`
+}
+
+// ndjsonEnergy is the wire shape of a TraceEnergy payload.
+type ndjsonEnergy struct {
+	MRFPJ     float64 `json:"mrf_pj"`
+	FRFHighPJ float64 `json:"frf_high_pj"`
+	FRFLowPJ  float64 `json:"frf_low_pj"`
+	SRFPJ     float64 `json:"srf_pj"`
+	LeakPJ    float64 `json:"leak_pj"`
+	Cycles    int64   `json:"cycles"`
 }
 
 // Event implements Tracer.
 func (t *NDJSONTracer) Event(e TraceEvent) {
-	_ = t.enc.Encode(ndjsonEvent{
+	ev := ndjsonEvent{
 		Cycle: e.Cycle, SM: e.SM, Kind: e.Kind.String(),
 		Warp: e.Warp, PC: e.PC, Detail: e.Detail,
-	})
+	}
+	if e.Energy != nil {
+		ev.Energy = &ndjsonEnergy{
+			MRFPJ:     e.Energy.DynamicPJ[0],
+			FRFHighPJ: e.Energy.DynamicPJ[1],
+			FRFLowPJ:  e.Energy.DynamicPJ[2],
+			SRFPJ:     e.Energy.DynamicPJ[3],
+			LeakPJ:    e.Energy.LeakagePJ,
+			Cycles:    e.Energy.Cycles,
+		}
+	}
+	_ = t.enc.Encode(ev)
 }
 
 // Flush drains the buffer.
@@ -191,6 +213,18 @@ type perfettoCounterArgs struct {
 	Value int `json:"frf_low_power"`
 }
 
+// perfettoPJArgs is the payload of an energy counter record.
+type perfettoPJArgs struct {
+	PJ float64 `json:"pj"`
+}
+
+// energyCounterNames names the per-component Perfetto energy counter
+// tracks, indexed by regfile.Partition — one track per component per SM
+// (each SM is its own Perfetto process).
+var energyCounterNames = [4]string{
+	"energy_mrf_pj", "energy_frf_high_pj", "energy_frf_low_pj", "energy_srf_pj",
+}
+
 // perfettoTID maps a trace event's warp to a Perfetto thread id: warp
 // slots shift up by one so tid 0 remains the SM-scope pseudo-thread.
 func perfettoTID(warp int) int {
@@ -218,6 +252,23 @@ func (t *PerfettoTracer) Event(e TraceEvent) {
 			Name: "process_name", Phase: "M", PID: e.SM, TID: 0,
 			Args: perfettoNameArgs{Name: fmt.Sprintf("SM %d", e.SM)},
 		})
+	}
+	if e.Kind == TraceEnergy {
+		// Energy epochs become counter tracks, not instants: one track
+		// per component plus a leakage track, all on the SM process.
+		if e.Energy != nil {
+			for p, name := range energyCounterNames {
+				t.emit(perfettoEvent{
+					Name: name, Phase: "C", TS: e.Cycle, PID: e.SM, TID: 0,
+					Args: perfettoPJArgs{PJ: e.Energy.DynamicPJ[p]},
+				})
+			}
+			t.emit(perfettoEvent{
+				Name: "energy_leak_pj", Phase: "C", TS: e.Cycle, PID: e.SM, TID: 0,
+				Args: perfettoPJArgs{PJ: e.Energy.LeakagePJ},
+			})
+		}
+		return
 	}
 	t.emit(perfettoEvent{
 		Name: e.Kind.String(), Cat: "pipeline", Phase: "i", TS: e.Cycle,

@@ -11,8 +11,9 @@ import (
 // behind the per-epoch metric dumps. Appends copy the row, so callers
 // may reuse their scratch slice.
 type TimeSeries struct {
-	cols []string
-	rows [][]float64
+	cols   []string
+	rows   [][]float64
+	schema string
 }
 
 // NewTimeSeries returns an empty series with the given column names.
@@ -25,6 +26,14 @@ func NewTimeSeries(cols ...string) *TimeSeries {
 
 // Columns returns the column names.
 func (ts *TimeSeries) Columns() []string { return ts.cols }
+
+// SetSchema attaches a versioned schema tag to the series; WriteCSV
+// emits it as a "# schema: <tag>" comment line ahead of the header so
+// consumers can detect column-set revisions. Empty disables the line.
+func (ts *TimeSeries) SetSchema(tag string) { ts.schema = tag }
+
+// Schema returns the attached schema tag ("" when unset).
+func (ts *TimeSeries) Schema() string { return ts.schema }
 
 // Len returns the number of rows.
 func (ts *TimeSeries) Len() int { return len(ts.rows) }
@@ -41,10 +50,16 @@ func (ts *TimeSeries) Append(row []float64) {
 	ts.rows = append(ts.rows, append([]float64(nil), row...))
 }
 
-// WriteCSV writes the series as CSV: a header line of column names, then
-// one line per row. Values are formatted with minimal digits ('g').
+// WriteCSV writes the series as CSV: an optional "# schema:" comment
+// (see SetSchema), a header line of column names, then one line per row.
+// Values are formatted with minimal digits ('g').
 func (ts *TimeSeries) WriteCSV(w io.Writer) error {
 	var buf []byte
+	if ts.schema != "" {
+		buf = append(buf, "# schema: "...)
+		buf = append(buf, ts.schema...)
+		buf = append(buf, '\n')
+	}
 	for i, c := range ts.cols {
 		if i > 0 {
 			buf = append(buf, ',')
@@ -100,6 +115,21 @@ func NewRecorder(epochCycles int, cols ...string) *Recorder {
 
 // Registry returns the recorder's live aggregate metrics.
 func (r *Recorder) Registry() *Registry { return r.reg }
+
+// SetSchema attaches a versioned schema tag to the recorder's series
+// (see TimeSeries.SetSchema).
+func (r *Recorder) SetSchema(tag string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series.SetSchema(tag)
+}
+
+// Schema returns the series' schema tag ("" when unset).
+func (r *Recorder) Schema() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series.Schema()
+}
 
 // Series returns the accumulated time series.
 func (r *Recorder) Series() *TimeSeries {

@@ -206,6 +206,45 @@ type (
 	MetricsRecorder = telemetry.Recorder
 )
 
+// Energy attribution types, re-exported for the streaming energy ledger
+// and the FRF swap-decision audit trail.
+type (
+	// EnergyLedger attributes every RF access and leakage interval to a
+	// (component, epoch, warp, register) bucket, conservation-checked
+	// against the aggregate energy model.
+	EnergyLedger = energy.Ledger
+	// EpochCharge is one SM-epoch's access counts in the ledger.
+	EpochCharge = energy.EpochCharge
+	// HeatCell is one (warp, register) access-count bucket.
+	HeatCell = energy.HeatCell
+	// SwapAuditLog records every FRF placement decision.
+	SwapAuditLog = profile.AuditLog
+	// PlacementEvent is one recorded FRF placement.
+	PlacementEvent = profile.PlacementEvent
+	// PlacementReason says which mechanism placed a register.
+	PlacementReason = profile.PlacementReason
+)
+
+// EnableEnergyLedger makes subsequent runs charge every RF access into
+// the returned ledger, bucketed per component, per epochCycles-cycle
+// epoch (0 = the adaptive-FRF default epoch), and per (warp, register)
+// heat cell. Write it out with WriteEpochCSV, WriteHeatmapCSV, or
+// WriteHeatmapJSON, and cross-check with CheckConservation.
+func (s *Simulator) EnableEnergyLedger(epochCycles int) *EnergyLedger {
+	led := energy.NewLedger(s.cfg.RF.Design, epochCycles)
+	s.cfg.Energy = led
+	return led
+}
+
+// EnableSwapAudit makes subsequent runs record every FRF placement
+// decision — which technique placed which register at what cycle with
+// what observed access count — into the returned audit log.
+func (s *Simulator) EnableSwapAudit() *SwapAuditLog {
+	log := &profile.AuditLog{}
+	s.cfg.Audit = log
+	return log
+}
+
 // EnableStallAttribution makes subsequent runs charge every zero-issue
 // SM-cycle to a StallCause, exposed per kernel through
 // Result.Stats.Kernels[i].StallBreakdown (and summed by

@@ -1,7 +1,8 @@
 package pilotrf
 
 // Tier-1 tooling gates: gofmt cleanliness (checked in-process, no
-// toolchain needed), go vet, and a race-detector pass over the
+// toolchain needed), go vet, staticcheck and govulncheck (when their
+// binaries are installed), and a race-detector pass over the
 // concurrency-bearing telemetry package. The exec-based checks skip
 // when the environment cannot run them (no go binary, no cgo) so the
 // suite stays green on minimal containers while still enforcing the
@@ -78,6 +79,44 @@ func TestGoVet(t *testing.T) {
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("go vet ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestStaticcheck runs honnef.co/go/tools staticcheck over the module
+// when the binary is on PATH, skipping gracefully otherwise.
+func TestStaticcheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin, err := exec.LookPath("staticcheck")
+	if err != nil {
+		t.Skip("staticcheck not available")
+	}
+	out, err := exec.Command(bin, "./...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("staticcheck ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestGovulncheck scans the module against the Go vulnerability
+// database when the binary is on PATH, skipping gracefully otherwise
+// (including when the database is unreachable offline).
+func TestGovulncheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin, err := exec.LookPath("govulncheck")
+	if err != nil {
+		t.Skip("govulncheck not available")
+	}
+	out, err := exec.Command(bin, "./...").CombinedOutput()
+	if err != nil {
+		if strings.Contains(string(out), "no such host") ||
+			strings.Contains(string(out), "connection refused") ||
+			strings.Contains(string(out), "dial tcp") {
+			t.Skipf("vulnerability database unreachable: %s", out)
+		}
+		t.Fatalf("govulncheck ./... failed: %v\n%s", err, out)
 	}
 }
 
