@@ -1,0 +1,156 @@
+// Command benchdiff compares two pilotrf-bench/v1 JSON reports (e.g.
+// BENCH_PR2.json against a fresh cmd/experiments -bench-json run) and
+// prints per-benchmark metric deltas. The simulator is deterministic,
+// so every reported metric should reproduce exactly; a relative drift
+// beyond -threshold, or a benchmark present in only one report, is a
+// regression.
+//
+// Usage:
+//
+//	benchdiff [-threshold f] [-v] old.json new.json
+//
+// ns/op deltas — and per-second rate metrics like Mcycles/s, which are
+// wall-clock in disguise — are printed for context but never counted
+// against the threshold: wall-clock time is machine-dependent.
+//
+// Exit status: 0 when every shared metric is within the threshold and
+// the benchmark sets match, 1 on drift or set mismatch, 2 on read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"pilotrf/internal/benchjson"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.001, "max relative metric drift before failing")
+	verbose := fs.Bool("v", false, "print unchanged metrics too")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-v] old.json new.json")
+		return 2
+	}
+	old, err := benchjson.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	cur, err := benchjson.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	oldBy := byName(old)
+	curBy := byName(cur)
+	violations := 0
+
+	names := make([]string, 0, len(oldBy))
+	for n := range oldBy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ob := oldBy[name]
+		cb, ok := curBy[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%s: MISSING from %s\n", name, fs.Arg(1))
+			violations++
+			continue
+		}
+		keys := make([]string, 0, len(ob.Metrics))
+		for k := range ob.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		printedHeader := false
+		header := func() {
+			if !printedHeader {
+				nsDelta := relDelta(ob.NsPerOp, cb.NsPerOp)
+				fmt.Fprintf(stdout, "%s  (ns/op %+.1f%%, informational)\n", name, nsDelta*100)
+				printedHeader = true
+			}
+		}
+		if *verbose {
+			header()
+		}
+		for _, k := range keys {
+			ov := ob.Metrics[k]
+			cv, ok := cb.Metrics[k]
+			if !ok {
+				header()
+				fmt.Fprintf(stdout, "  %-32s %12.4g -> metric MISSING\n", k, ov)
+				violations++
+				continue
+			}
+			d := relDelta(ov, cv)
+			if informational(k) {
+				if *verbose || math.Abs(d) > *threshold {
+					header()
+					fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g (%+.2f%%, informational)\n", k, ov, cv, d*100)
+				}
+			} else if math.Abs(d) > *threshold {
+				header()
+				fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g (%+.2f%%) DRIFT\n", k, ov, cv, d*100)
+				violations++
+			} else if *verbose {
+				fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g ok\n", k, ov, cv)
+			}
+		}
+	}
+	for n := range curBy {
+		if _, ok := oldBy[n]; !ok {
+			fmt.Fprintf(stdout, "%s: NEW in %s\n", n, fs.Arg(1))
+		}
+	}
+
+	fmt.Fprintf(stdout, "%d benchmarks compared, %d violations (threshold %.3g)\n",
+		len(names), violations, *threshold)
+	if violations > 0 {
+		return 1
+	}
+	return 0
+}
+
+// informational reports whether a metric measures wall-clock rather
+// than simulated behavior. Per-second rates (Mcycles/s, MB/s) divide a
+// deterministic count by machine-dependent time, so they can never be
+// gated by the drift threshold.
+func informational(key string) bool {
+	return strings.HasSuffix(key, "/s")
+}
+
+// byName indexes a report's benchmarks; duplicate names keep the last.
+func byName(r benchjson.Report) map[string]benchjson.Benchmark {
+	m := make(map[string]benchjson.Benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// relDelta is (new-old)/old, treating an exact match (including 0 -> 0)
+// as zero drift and any change away from zero as full drift.
+func relDelta(old, new float64) float64 {
+	if old == new {
+		return 0
+	}
+	if old == 0 {
+		return math.Inf(1)
+	}
+	return (new - old) / old
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/benchjson"
+)
+
+func writeReport(t *testing.T, dir, name string, benches []benchjson.Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := benchjson.NewReport("test", benches).Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(name string, ns float64, metrics map[string]float64) benchjson.Benchmark {
+	return benchjson.Benchmark{Name: name, Procs: 1, Iterations: 1, NsPerOp: ns, Metrics: metrics}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	dir := t.TempDir()
+	benches := []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"saving-pct": 53.7}),
+		bench("BenchmarkB", 200, map[string]float64{"cycles": 12345}),
+	}
+	a := writeReport(t, dir, "a.json", benches)
+	b := writeReport(t, dir, "b.json", benches)
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "0 violations") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestNsPerOpChangeIsInformationalOnly(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"cycles": 500}),
+	})
+	b := writeReport(t, dir, "b.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 900, map[string]float64{"cycles": 500}),
+	})
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 0 {
+		t.Fatalf("wall-clock drift failed the diff: exit = %d\n%s", code, out.String())
+	}
+}
+
+func TestRateMetricsAreInformationalOnly(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"Mcycles/s": 0.15, "cycles": 500}),
+	})
+	b := writeReport(t, dir, "b.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"Mcycles/s": 0.90, "cycles": 500}),
+	})
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 0 {
+		t.Fatalf("throughput drift failed the diff: exit = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "informational") {
+		t.Errorf("rate drift not reported:\n%s", out.String())
+	}
+}
+
+func TestMetricDriftFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"cycles": 500}),
+	})
+	b := writeReport(t, dir, "b.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"cycles": 600}),
+	})
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "DRIFT") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// A generous threshold lets the same drift through.
+	out.Reset()
+	if code := run([]string{"-threshold", "0.5", a, b}, &out); code != 0 {
+		t.Fatalf("threshold 0.5: exit = %d\n%s", code, out.String())
+	}
+}
+
+func TestMissingBenchmarkFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, nil), bench("BenchmarkB", 100, nil),
+	})
+	b := writeReport(t, dir, "b.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, nil),
+	})
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestReadErrorsExitTwo(t *testing.T) {
+	dir := t.TempDir()
+	badSchema := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badSchema, []byte(`{"schema":"other/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeReport(t, dir, "good.json", []benchjson.Benchmark{bench("BenchmarkA", 1, nil)})
+	var out bytes.Buffer
+	if code := run([]string{"/no/such.json", good}, &out); code != 2 {
+		t.Errorf("missing file: exit = %d, want 2", code)
+	}
+	if code := run([]string{badSchema, good}, &out); code != 2 {
+		t.Errorf("bad schema: exit = %d, want 2", code)
+	}
+	if code := run([]string{good}, &out); code != 2 {
+		t.Errorf("one arg: exit = %d, want 2", code)
+	}
+}
+
+// TestAgainstCommittedTrajectory sanity-checks the committed trajectory
+// file parses under the current schema.
+func TestAgainstCommittedTrajectory(t *testing.T) {
+	rep, err := benchjson.ReadFile("../../BENCH_PR2.json")
+	if err != nil {
+		t.Fatalf("BENCH_PR2.json: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("BENCH_PR2.json has no benchmarks")
+	}
+}

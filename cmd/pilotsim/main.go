@@ -10,6 +10,7 @@
 //	         [-sms n] [-scale f] [-v]
 //	         [-trace-out f.json] [-events-out f.ndjson] [-metrics-out f.csv]
 //	         [-energy-out f.csv] [-heatmap-out f.csv|f.json] [-audit-out f.csv|f.json]
+//	         [-record-out f.ndjson] [-record-every k] [-replay-check f.ndjson]
 //	         [-stalls] [-http :6060]
 //
 // Observability: -trace-out writes a Chrome/Perfetto trace_event JSON
@@ -24,6 +25,16 @@
 // in .json); -audit-out writes the FRF swap-decision audit log (CSV or
 // .json). All three are conservation-checked against the aggregate
 // energy model before writing.
+//
+// Flight recorder: -record-out captures the run's architectural
+// commitments (issue decisions, warp lifecycle, RF routing, swap
+// installs, mode flips, periodic state checksums every -record-every
+// cycles) as a pilotrf-flightrec/v1 NDJSON log; -replay-check re-runs
+// the configuration against a prior recording and fails on the first
+// mismatching event. Diff two recordings with cmd/rfdiff.
+//
+// Every output path is created up front, before any simulation runs, so
+// a bad path fails fast without leaving sibling files partially written.
 package main
 
 import (
@@ -34,6 +45,7 @@ import (
 	"strings"
 
 	"pilotrf/internal/energy"
+	"pilotrf/internal/flightrec"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
@@ -41,26 +53,72 @@ import (
 	"pilotrf/internal/workloads"
 )
 
-// writeFile creates path and streams write into it, exiting on error.
-func writeFile(path string, write func(io.Writer) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+// outFiles holds every requested output file, created eagerly before
+// the run so path errors surface before any simulation — and before any
+// sibling exporter has written a partial file. A creation failure
+// removes the files already created.
+type outFiles struct {
+	files map[string]*os.File
+	order []string
+}
+
+// openOutputs creates the non-empty paths. On any failure the files
+// created so far are closed and removed.
+func openOutputs(paths ...string) (*outFiles, error) {
+	o := &outFiles{files: map[string]*os.File{}}
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		if _, dup := o.files[p]; dup {
+			o.removeAll()
+			return nil, fmt.Errorf("output path %s used by two flags", p)
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			o.removeAll()
+			return nil, err
+		}
+		o.files[p] = f
+		o.order = append(o.order, p)
 	}
-	if err := write(f); err == nil {
-		err = f.Close()
-	} else {
-		f.Close()
+	return o, nil
+}
+
+// get returns the pre-created file for path ("" and unknown paths are nil).
+func (o *outFiles) get(path string) *os.File { return o.files[path] }
+
+// write streams into the pre-created file for path.
+func (o *outFiles) write(path string, write func(io.Writer) error) error {
+	if err := write(o.files[path]); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
-		os.Exit(1)
+	return nil
+}
+
+// closeAll closes every file, reporting the first error.
+func (o *outFiles) closeAll() error {
+	var first error
+	for _, p := range o.order {
+		if err := o.files[p].Close(); err != nil && first == nil {
+			first = fmt.Errorf("closing %s: %w", p, err)
+		}
+	}
+	return first
+}
+
+// removeAll closes and deletes every created file (the bad-path and
+// bad-flag cleanup path).
+func (o *outFiles) removeAll() {
+	for _, p := range o.order {
+		o.files[p].Close()
+		os.Remove(p)
 	}
 }
 
-// countingTracer prints the first N pipeline events to stdout.
+// countingTracer prints the first N pipeline events.
 type countingTracer struct {
+	w     io.Writer
 	limit int
 	seen  int
 }
@@ -68,34 +126,58 @@ type countingTracer struct {
 // Event implements sim.Tracer.
 func (t *countingTracer) Event(e sim.TraceEvent) {
 	if t.seen < t.limit {
-		fmt.Println(e.String())
+		fmt.Fprintln(t.w, e.String())
 		t.seen++
 	}
 }
 
+// usageError marks a bad flag value, exiting 2 rather than the runtime
+// failures' 1.
+type usageError struct{ error }
+
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pilotsim", flag.ContinueOnError)
 	var (
-		benchName  = flag.String("bench", "", "benchmark name (empty = all)")
-		design     = flag.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
-		prof       = flag.String("profile", "hybrid", "static | compiler | pilot | hybrid")
-		sched      = flag.String("sched", "gto", "gto | lrr | tl | fg")
-		sms        = flag.Int("sms", 2, "number of SMs")
-		scale      = flag.Float64("scale", 1, "CTA count scale factor")
-		verbose    = flag.Bool("v", false, "per-kernel detail")
-		traceN     = flag.Int("trace", 0, "print the first N pipeline trace events")
-		traceOut   = flag.String("trace-out", "", "write a Perfetto trace_event JSON file")
-		eventsOut  = flag.String("events-out", "", "write pipeline events as NDJSON")
-		metricsCSV = flag.String("metrics-out", "", "write the per-epoch metric time series as CSV")
-		energyOut  = flag.String("energy-out", "", "attach the energy ledger and write per-epoch charges as CSV")
-		heatmapOut = flag.String("heatmap-out", "", "write the per-register access/energy heatmap (CSV, or JSON for .json paths)")
-		auditOut   = flag.String("audit-out", "", "write the FRF swap-decision audit log (CSV, or JSON for .json paths)")
-		stalls     = flag.Bool("stalls", false, "attribute stall cycles and print the breakdown")
-		httpAddr   = flag.String("http", "", "serve expvar/pprof/metrics on this address (e.g. :6060)")
+		benchName   = fs.String("bench", "", "benchmark name (empty = all)")
+		design      = fs.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
+		prof        = fs.String("profile", "hybrid", "static | compiler | pilot | hybrid")
+		sched       = fs.String("sched", "gto", "gto | lrr | tl | fg")
+		sms         = fs.Int("sms", 2, "number of SMs")
+		scale       = fs.Float64("scale", 1, "CTA count scale factor")
+		seed        = fs.Uint64("seed", 0, "memory-content seed (0 = default)")
+		verbose     = fs.Bool("v", false, "per-kernel detail")
+		traceN      = fs.Int("trace", 0, "print the first N pipeline trace events")
+		traceOut    = fs.String("trace-out", "", "write a Perfetto trace_event JSON file")
+		eventsOut   = fs.String("events-out", "", "write pipeline events as NDJSON")
+		metricsCSV  = fs.String("metrics-out", "", "write the per-epoch metric time series as CSV")
+		energyOut   = fs.String("energy-out", "", "attach the energy ledger and write per-epoch charges as CSV")
+		heatmapOut  = fs.String("heatmap-out", "", "write the per-register access/energy heatmap (CSV, or JSON for .json paths)")
+		auditOut    = fs.String("audit-out", "", "write the FRF swap-decision audit log (CSV, or JSON for .json paths)")
+		recordOut   = fs.String("record-out", "", "write the flight-recorder event log as NDJSON")
+		recordEvery = fs.Int64("record-every", flightrec.DefaultChecksumEvery, "cycles between recorded state checksums")
+		replayCheck = fs.String("replay-check", "", "verify this run against a prior -record-out log")
+		stalls      = fs.Bool("stalls", false, "attribute stall cycles and print the breakdown")
+		httpAddr    = fs.String("http", "", "serve expvar/pprof/metrics on this address (e.g. :6060)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := sim.DefaultConfig()
 	cfg.NumSMs = *sms
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
 	switch *design {
 	case "mrf-stv":
 		cfg = cfg.WithDesign(regfile.DesignMonolithicSTV)
@@ -106,8 +188,7 @@ func main() {
 	case "part-adaptive":
 		cfg = cfg.WithDesign(regfile.DesignPartitionedAdaptive)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
-		os.Exit(2)
+		return usageError{fmt.Errorf("unknown design %q", *design)}
 	}
 	switch *prof {
 	case "static":
@@ -119,8 +200,7 @@ func main() {
 	case "hybrid":
 		cfg.Profiling = profile.TechniqueHybrid
 	default:
-		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *prof)
-		os.Exit(2)
+		return usageError{fmt.Errorf("unknown profile %q", *prof)}
 	}
 	switch *sched {
 	case "gto":
@@ -132,8 +212,10 @@ func main() {
 	case "fg":
 		cfg.Policy = sim.PolicyFetchGroup
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
-		os.Exit(2)
+		return usageError{fmt.Errorf("unknown scheduler %q", *sched)}
+	}
+	if *recordOut != "" && *replayCheck != "" {
+		return usageError{fmt.Errorf("-record-out and -replay-check are mutually exclusive (replay verifies, it does not re-record)")}
 	}
 
 	var wls []workloads.Workload
@@ -142,35 +224,39 @@ func main() {
 	} else {
 		w, err := workloads.ByName(*benchName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return err
 		}
 		wls = []workloads.Workload{w}
+	}
+
+	// The replay log loads before any output file is created: a missing
+	// or malformed recording must not truncate fresh outputs.
+	var checker *flightrec.Checker
+	if *replayCheck != "" {
+		log, err := flightrec.ReadFile(*replayCheck)
+		if err != nil {
+			return err
+		}
+		checker = flightrec.NewChecker(log)
+		cfg.Record = checker
+	}
+
+	out, err := openOutputs(*traceOut, *eventsOut, *metricsCSV, *energyOut, *heatmapOut, *auditOut, *recordOut)
+	if err != nil {
+		return err
 	}
 
 	// Assemble the tracer chain: console preview, Perfetto export, and
 	// NDJSON export can all observe the same run through one tee.
 	var tracers []sim.Tracer
 	if *traceN > 0 {
-		tracers = append(tracers, &countingTracer{limit: *traceN})
+		tracers = append(tracers, &countingTracer{w: stdout, limit: *traceN})
 	}
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		tracers = append(tracers, sim.NewPerfettoTracer(f))
+		tracers = append(tracers, sim.NewPerfettoTracer(out.get(*traceOut)))
 	}
 	if *eventsOut != "" {
-		f, err := os.Create(*eventsOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		tracers = append(tracers, sim.NewNDJSONTracer(f))
+		tracers = append(tracers, sim.NewNDJSONTracer(out.get(*eventsOut)))
 	}
 	switch len(tracers) {
 	case 0:
@@ -190,6 +276,11 @@ func main() {
 		audit = &profile.AuditLog{}
 		cfg.Audit = audit
 	}
+	var flight *flightrec.Recorder
+	if *recordOut != "" {
+		flight = sim.NewFlightRecorder(&cfg, *benchName, *recordEvery)
+		cfg.Record = flight
+	}
 
 	cfg.Stalls = *stalls
 	var rec *telemetry.Recorder
@@ -200,8 +291,8 @@ func main() {
 	if *httpAddr != "" {
 		srv, err := telemetry.StartLive(*httpAddr, rec.Registry())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			out.removeAll()
+			return err
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "serving expvar/pprof/metrics on %s\n", srv.Addr)
@@ -210,19 +301,17 @@ func main() {
 	var ledgerParts [4]uint64
 	var ledgerCycles int64
 
-	fmt.Printf("%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
+	fmt.Fprintf(stdout, "%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
 		"bench", "cycles", "accesses", "top3", "top4", "top5", "FRF%", "low%", "pilot%", "cgap")
 	for _, w := range wls {
 		w = w.Scale(*scale)
 		g, err := sim.New(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		rs, err := g.RunKernels(w.Name, w.Kernels)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", w.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", w.Name, err)
 		}
 		if led != nil {
 			for p, n := range rs.PartAccesses() {
@@ -255,65 +344,74 @@ func main() {
 		if frf := parts[regfile.PartFRFHigh] + parts[regfile.PartFRFLow]; frf > 0 {
 			lowShare = float64(parts[regfile.PartFRFLow]) / float64(frf)
 		}
-		fmt.Printf("%-10s %9d %8d %6.2f %6.2f %6.2f %7.2f %7.2f %7.2f %7.2f\n",
+		fmt.Fprintf(stdout, "%-10s %9d %8d %6.2f %6.2f %6.2f %7.2f %7.2f %7.2f %7.2f\n",
 			w.Name, rs.TotalCycles(), rs.TotalAccesses(),
 			rs.TopNShareByKernel(3), rs.TopNShareByKernel(4), rs.TopNShareByKernel(5),
 			rs.FRFShare()*100, lowShare*100, pilotFrac*100, cgap)
 		if *verbose {
 			for _, ks := range rs.Kernels {
-				fmt.Printf("    %-28s cycles=%-8d instrs=%-8d util=%.2f FRF=%.2f pilot=%.2f simt=%.2f colstall=%d bankq=%.2f\n",
+				fmt.Fprintf(stdout, "    %-28s cycles=%-8d instrs=%-8d util=%.2f FRF=%.2f pilot=%.2f simt=%.2f colstall=%d bankq=%.2f\n",
 					ks.Name, ks.Cycles, ks.WarpInstrs, ks.IssueUtilization(), ks.FRFShare(), ks.PilotFraction,
 					ks.SIMTEfficiency(), ks.CollectorStalls, ks.AvgBankQueue(cfg.RF.Banks))
 			}
 		}
 		if *stalls {
 			bd, busy, smCycles := rs.StallTotals()
-			fmt.Printf("\n%s stall attribution (SM-cycles=%d busy=%d stalled=%d):\n%s\n",
+			fmt.Fprintf(stdout, "\n%s stall attribution (SM-cycles=%d busy=%d stalled=%d):\n%s\n",
 				w.Name, smCycles, busy, smCycles-busy, bd.Table())
 		}
 	}
 
 	if err := sim.FlushTracer(cfg.Tracer); err != nil {
-		fmt.Fprintf(os.Stderr, "flushing trace: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("flushing trace: %w", err)
 	}
 	if *metricsCSV != "" {
-		f, err := os.Create(*metricsCSV)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := rec.WriteCSV(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing metrics: %v\n", err)
-			os.Exit(1)
+		if err := out.write(*metricsCSV, rec.WriteCSV); err != nil {
+			return err
 		}
 	}
 	if led != nil {
 		if err := led.CheckConservation(ledgerParts, ledgerCycles); err != nil {
-			fmt.Fprintf(os.Stderr, "energy ledger conservation violated: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("energy ledger conservation violated: %w", err)
 		}
 		if *energyOut != "" {
-			writeFile(*energyOut, led.WriteEpochCSV)
+			if err := out.write(*energyOut, led.WriteEpochCSV); err != nil {
+				return err
+			}
 		}
 		if *heatmapOut != "" {
+			w := led.WriteHeatmapCSV
 			if strings.HasSuffix(*heatmapOut, ".json") {
-				writeFile(*heatmapOut, led.WriteHeatmapJSON)
-			} else {
-				writeFile(*heatmapOut, led.WriteHeatmapCSV)
+				w = led.WriteHeatmapJSON
+			}
+			if err := out.write(*heatmapOut, w); err != nil {
+				return err
 			}
 		}
 	}
 	if audit != nil {
+		w := audit.WriteCSV
 		if strings.HasSuffix(*auditOut, ".json") {
-			writeFile(*auditOut, audit.WriteJSON)
-		} else {
-			writeFile(*auditOut, audit.WriteCSV)
+			w = audit.WriteJSON
+		}
+		if err := out.write(*auditOut, w); err != nil {
+			return err
 		}
 	}
+	if flight != nil {
+		if err := out.write(*recordOut, flight.Log().WriteNDJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d flight-recorder events to %s\n", flight.Len(), *recordOut)
+	}
+	if err := out.closeAll(); err != nil {
+		return err
+	}
+	if checker != nil {
+		if err := checker.Err(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "replay-check: %d events match %s\n", checker.Checked(), *replayCheck)
+	}
+	return nil
 }

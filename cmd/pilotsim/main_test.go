@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/flightrec"
+)
+
+// TestCombinedExporters drives the combined -trace-out/-energy-out/
+// -record-out path end to end on one small benchmark: all three files
+// must exist and be non-empty, and the recording must parse.
+func TestCombinedExporters(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	energy := filepath.Join(dir, "energy.csv")
+	record := filepath.Join(dir, "run.ndjson")
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench", "sgemm", "-scale", "0.1", "-sms", "1",
+		"-trace-out", trace, "-energy-out", energy,
+		"-record-out", record, "-record-every", "32",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, p := range []string{trace, energy, record} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	log, err := flightrec.ReadFile(record)
+	if err != nil {
+		t.Fatalf("recording does not parse: %v", err)
+	}
+	if len(log.Events) == 0 || len(log.Checksums()) == 0 {
+		t.Fatalf("recording has %d events, %d checksums", len(log.Events), len(log.Checksums()))
+	}
+	if !strings.Contains(out.String(), "sgemm") {
+		t.Errorf("stdout missing benchmark row for sgemm:\n%s", out.String())
+	}
+}
+
+// TestBadOutputPathLeavesNoPartialFiles: when one output path is
+// invalid, no sibling output may be left behind (the pre-fix behaviour
+// created earlier files before failing on the later one).
+func TestBadOutputPathLeavesNoPartialFiles(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	bad := filepath.Join(dir, "missing-subdir", "energy.csv")
+
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench", "sgemm", "-scale", "0.1", "-sms", "1",
+		"-trace-out", trace, "-energy-out", bad,
+	}, &out)
+	if err == nil {
+		t.Fatal("run succeeded with an uncreatable output path")
+	}
+	if _, statErr := os.Stat(trace); !os.IsNotExist(statErr) {
+		t.Errorf("partial %s left behind (stat err: %v)", trace, statErr)
+	}
+}
+
+// TestBadFlagCreatesNoFiles: flag validation failures must fire before
+// any output file is created.
+func TestBadFlagCreatesNoFiles(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-design", "bogus", "-trace-out", trace}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown design") {
+		t.Fatalf("err = %v", err)
+	}
+	if _, statErr := os.Stat(trace); !os.IsNotExist(statErr) {
+		t.Errorf("%s created despite bad -design", trace)
+	}
+}
+
+// TestRecordThenReplayCheck exercises the full record → replay-check
+// loop through the CLI.
+func TestRecordThenReplayCheck(t *testing.T) {
+	dir := t.TempDir()
+	record := filepath.Join(dir, "run.ndjson")
+	base := []string{"-bench", "sgemm", "-scale", "0.1", "-sms", "1"}
+
+	var out bytes.Buffer
+	if err := run(append(base[:len(base):len(base)], "-record-out", record), &out); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	out.Reset()
+	if err := run(append(base[:len(base):len(base)], "-replay-check", record), &out); err != nil {
+		t.Fatalf("replay-check: %v", err)
+	}
+	if !strings.Contains(out.String(), "replay-check:") {
+		t.Errorf("no replay verdict printed:\n%s", out.String())
+	}
+
+	// A different scheduler must fail verification.
+	err := run(append(base[:len(base):len(base)], "-sched", "lrr", "-replay-check", record), &out)
+	if err == nil || !strings.Contains(err.Error(), "flightrec") {
+		t.Fatalf("mismatched replay err = %v", err)
+	}
+}
+
+// TestRecordAndReplayAreExclusive: the two sinks cannot share a run.
+func TestRecordAndReplayAreExclusive(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-record-out", "a.ndjson", "-replay-check", "b.ndjson"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+// Command rfdiff aligns two flight-recorder logs (captured with
+// pilotsim -record-out or the pilotrf facade) and reports where the two
+// runs first diverge: the event-stream position and cycle, the
+// subsystem that committed the diverging event, a window of context
+// from each recording, and the first mismatching state checksum.
+//
+// Usage:
+//
+//	rfdiff [-window n] a.ndjson b.ndjson
+//
+// Exit status: 0 when the recordings are identical, 1 when they
+// diverge, 2 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pilotrf/internal/flightrec"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("rfdiff", flag.ContinueOnError)
+	window := fs.Int("window", 5, "events of context before/after the divergence")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rfdiff [-window n] a.ndjson b.ndjson")
+		return 2
+	}
+	a, err := flightrec.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	b, err := flightrec.ReadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	report := flightrec.Diff(a, b, *window)
+	if err := report.WriteText(stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if report.Diverged {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/sim"
+	"pilotrf/internal/workloads"
+)
+
+// captureRun records one scaled benchmark under the given seed and
+// writes the log to a file.
+func captureRun(t *testing.T, dir, name string, seed uint64) string {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.NumSMs = 1
+	cfg.Seed = seed
+	rec := sim.NewFlightRecorder(&cfg, name, 32)
+	cfg.Record = rec
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = w.Scale(0.1)
+	if _, err := g.RunKernels(w.Name, w.Kernels); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Log().WriteNDJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestIdenticalRunsExitZero(t *testing.T) {
+	dir := t.TempDir()
+	a := captureRun(t, dir, "a", 1)
+	b := captureRun(t, dir, "b", 1)
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 0 {
+		t.Fatalf("exit = %d for identical runs\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "IDENTICAL") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDivergentRunsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	a := captureRun(t, dir, "a", 1)
+	b := captureRun(t, dir, "b", 2)
+	var out bytes.Buffer
+	if code := run([]string{"-window", "2", a, b}, &out); code != 1 {
+		t.Fatalf("exit = %d for divergent runs\n%s", code, out.String())
+	}
+	for _, want := range []string{"FIRST DIVERGENCE", "seed: 1 vs 2", "context in A"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageAndReadErrorsExitTwo(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"only-one.ndjson"}, &out); code != 2 {
+		t.Errorf("one arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"/no/such/a.ndjson", "/no/such/b.ndjson"}, &out); code != 2 {
+		t.Errorf("missing files: exit = %d, want 2", code)
+	}
+}

@@ -1,0 +1,99 @@
+package pilotrf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// smallSim returns a 1-SM simulator at reduced scale for fast facade
+// tests.
+func smallSim(t *testing.T, seed uint64) *Simulator {
+	t.Helper()
+	opts := PaperOptions()
+	opts.SMs = 1
+	opts.Scale = 0.1
+	s, err := NewSimulator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Config().Seed = seed
+	return s
+}
+
+func TestFlightRecorderFacadeRoundTrip(t *testing.T) {
+	s := smallSim(t, 1)
+	rec := s.EnableFlightRecorder(32)
+	if _, err := s.RunBenchmark("sgemm"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+	log := rec.Log()
+	var buf bytes.Buffer
+	if err := log.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay through the facade: a fresh simulator with the same
+	// options must verify cleanly.
+	s2 := smallSim(t, 1)
+	chk := s2.EnableReplayCheck(log)
+	if _, err := s2.RunBenchmark("sgemm"); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Err(); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+}
+
+func TestDiffRecordingsFacade(t *testing.T) {
+	capture := func(seed uint64) *Recording {
+		s := smallSim(t, seed)
+		rec := s.EnableFlightRecorder(32)
+		if _, err := s.RunBenchmark("sgemm"); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Log()
+	}
+	a, b := capture(1), capture(2)
+	r := DiffRecordings(a, b, 3)
+	if !r.Diverged {
+		t.Fatal("different-seed recordings did not diverge")
+	}
+	if r.Cycle < 0 || r.Subsystem == "" {
+		t.Fatalf("incomplete report: %+v", r)
+	}
+	same := DiffRecordings(a, capture(1), 3)
+	if same.Diverged {
+		t.Fatalf("same-seed recordings diverged at event %d", same.Index)
+	}
+}
+
+func TestOracleProfilingViaFacade(t *testing.T) {
+	// Measure the true top registers with a pilot run, then feed them
+	// back as the oracle — the examples/replaydiff flow.
+	s := smallSim(t, 1)
+	res, err := s.RunBenchmark("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracle []Reg
+	for _, kv := range res.Stats.Kernels[0].RegHist.TopN(4) {
+		oracle = append(oracle, R(kv.Key))
+	}
+	if len(oracle) == 0 {
+		t.Fatal("no top registers measured")
+	}
+
+	o := smallSim(t, 1)
+	o.Config().Profiling = ProfileOracle
+	o.Config().Oracle = oracle
+	ores, err := o.RunBenchmark("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.FRFShare() <= 0 {
+		t.Errorf("oracle FRF share = %v", ores.FRFShare())
+	}
+}

@@ -8,7 +8,9 @@ package benchjson
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -105,4 +107,30 @@ func (r Report) Write(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// Read parses a report written by Write, validating the schema tag.
+func Read(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("benchjson: %w", err)
+	}
+	if rep.Schema != Schema {
+		return Report{}, fmt.Errorf("benchjson: schema %q, want %q", rep.Schema, Schema)
+	}
+	return rep, nil
+}
+
+// ReadFile loads a report from disk.
+func ReadFile(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	rep, err := Read(f)
+	if err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }

@@ -1,0 +1,130 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseLineMalformed covers the parser's reject paths: benchmark
+// lines with unparseable numbers must be dropped, not mis-parsed.
+func TestParseLineMalformed(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"non-numeric iterations", "BenchmarkX abc 100 ns/op"},
+		{"non-numeric metric value", "BenchmarkX 1 oops ns/op"},
+		{"non-numeric later metric", "BenchmarkX 1 100 ns/op bad saving-pct"},
+		{"name only", "BenchmarkX"},
+		{"empty", ""},
+		{"not a benchmark", "ok  \tpilotrf\t4.2s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if b, ok := ParseLine(tc.line); ok {
+				t.Fatalf("malformed line parsed as %+v", b)
+			}
+		})
+	}
+}
+
+// TestParseLineTruncated: a result line cut off mid-pair keeps the
+// pairs before the cut (go test output is flushed line-buffered, so a
+// trailing odd field means the unit was lost, not the value).
+func TestParseLineTruncated(t *testing.T) {
+	b, ok := ParseLine("BenchmarkX 2 100 ns/op 53.7")
+	if !ok {
+		t.Fatal("truncated line rejected entirely")
+	}
+	if b.NsPerOp != 100 || b.Iterations != 2 {
+		t.Errorf("parsed %+v", b)
+	}
+	if len(b.Metrics) != 0 {
+		t.Errorf("dangling value invented a metric: %v", b.Metrics)
+	}
+}
+
+// TestParseNegativeProcsSuffix: a trailing -0 or -(-1) must not be
+// treated as a GOMAXPROCS suffix.
+func TestParseProcsSuffixEdgeCases(t *testing.T) {
+	b, ok := ParseLine("BenchmarkX-0 1 100 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkX-0" || b.Procs != 1 {
+		t.Errorf("(-0 suffix) name/procs = %q/%d", b.Name, b.Procs)
+	}
+	b, ok = ParseLine("Benchmark-8 1 100 ns/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Procs != 8 {
+		t.Errorf("(-8 suffix) procs = %d, want 8", b.Procs)
+	}
+}
+
+// TestParseOverlongLine: a line past the scanner's 1 MiB cap must
+// surface as an error, not as silently truncated output.
+func TestParseOverlongLine(t *testing.T) {
+	long := "BenchmarkX 1 100 ns/op " + strings.Repeat("x", 2<<20) + "\n"
+	if _, err := Parse(strings.NewReader(long)); err == nil {
+		t.Fatal("2 MiB line parsed without error")
+	}
+}
+
+// TestParseSkipsGarbageBetweenResults: interleaved non-benchmark noise
+// (build output, t.Log lines) must not derail the surrounding results.
+func TestParseSkipsGarbageBetweenResults(t *testing.T) {
+	input := "BenchmarkA 1 100 ns/op\n" +
+		"some stray log line\n" +
+		"BenchmarkB notanumber 100 ns/op\n" + // malformed: dropped
+		"BenchmarkC 3 50 ns/op 1.5 cycles\n"
+	bs, err := Parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[0].Name != "BenchmarkA" || bs[1].Name != "BenchmarkC" {
+		t.Fatalf("parsed %+v", bs)
+	}
+	if bs[1].Metrics["cycles"] != 1.5 {
+		t.Errorf("metrics = %v", bs[1].Metrics)
+	}
+}
+
+// TestReadErrors covers the report reader's error paths.
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"empty", "", "benchjson"},
+		{"not json", "{broken", "benchjson"},
+		{"truncated json", `{"schema":"pilotrf-bench/v1","benchmarks":[{"name":`, "benchjson"},
+		{"wrong schema", `{"schema":"other/v2"}`, "schema"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestReadRoundTrip: Write then Read preserves the report.
+func TestReadRoundTrip(t *testing.T) {
+	rep := NewReport("go test -bench=.", []Benchmark{
+		{Name: "BenchmarkA", Procs: 1, Iterations: 1, NsPerOp: 100,
+			Metrics: map[string]float64{"cycles": 500}},
+	})
+	var sb strings.Builder
+	if err := rep.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || len(got.Benchmarks) != 1 || got.Benchmarks[0].Metrics["cycles"] != 500 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

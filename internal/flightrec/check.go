@@ -1,0 +1,104 @@
+package flightrec
+
+import "fmt"
+
+// Checker verifies a live run against a prior recording: attach it as
+// the run's Sink and every incoming event is compared, in order,
+// against the recorded stream. The first mismatch is retained with its
+// position; Err reports it (or a length mismatch) after the run.
+//
+// Because the simulator is deterministic, a run of the same Config as
+// the recording must match event for event — a Checker that passes is
+// a proof of reproducibility, and one that fails pinpoints the first
+// cycle where a refactor (or a config difference) changed behaviour.
+type Checker struct {
+	log *Log
+	pos int
+	div *Divergence
+}
+
+// Divergence describes the first point where a replay departed from
+// its recording.
+type Divergence struct {
+	// Index is the event-stream position of the mismatch.
+	Index int
+	// Recorded is the event the recording holds at Index; nil when the
+	// replay produced more events than were recorded.
+	Recorded *Event
+	// Replayed is the event the live run produced at Index; nil when
+	// the replay ended before reaching Index.
+	Replayed *Event
+}
+
+// Cycle returns the divergence cycle: the earliest cycle either stream
+// holds at the mismatch position.
+func (d *Divergence) Cycle() int64 {
+	switch {
+	case d.Recorded != nil && d.Replayed != nil:
+		if d.Replayed.Cycle < d.Recorded.Cycle {
+			return d.Replayed.Cycle
+		}
+		return d.Recorded.Cycle
+	case d.Recorded != nil:
+		return d.Recorded.Cycle
+	case d.Replayed != nil:
+		return d.Replayed.Cycle
+	}
+	return -1
+}
+
+// NewChecker returns a checker verifying against the given recording.
+func NewChecker(log *Log) *Checker { return &Checker{log: log} }
+
+// Record implements Sink: compare the incoming event against the
+// recorded stream. After the first mismatch events are only counted.
+func (c *Checker) Record(e Event) {
+	if c.div == nil {
+		switch {
+		case c.pos >= len(c.log.Events):
+			ev := e
+			c.div = &Divergence{Index: c.pos, Replayed: &ev}
+		case e != c.log.Events[c.pos]:
+			ev := e
+			c.div = &Divergence{Index: c.pos, Recorded: &c.log.Events[c.pos], Replayed: &ev}
+		}
+	}
+	c.pos++
+}
+
+// ChecksumEvery implements Sink, echoing the recording's interval so
+// replay checksums land on the recorded cycles.
+func (c *Checker) ChecksumEvery() int64 {
+	if c.log.Meta.ChecksumEvery <= 0 {
+		return DefaultChecksumEvery
+	}
+	return c.log.Meta.ChecksumEvery
+}
+
+// Checked returns how many events the live run produced so far.
+func (c *Checker) Checked() int { return c.pos }
+
+// Divergence returns the first mismatch, or nil while the replay
+// matches the recording (including a replay that ended early — use Err
+// for the complete verdict).
+func (c *Checker) Divergence() *Divergence { return c.div }
+
+// Err returns nil when the completed replay matched the recording
+// event for event, and a descriptive error otherwise.
+func (c *Checker) Err() error {
+	if d := c.div; d != nil {
+		switch {
+		case d.Recorded == nil:
+			return fmt.Errorf("flightrec: replay produced extra events beyond the %d recorded: event %d (cycle %d) %s",
+				len(c.log.Events), d.Index, d.Replayed.Cycle, d.Replayed)
+		default:
+			return fmt.Errorf("flightrec: replay diverged at event %d (cycle %d):\n  recorded: %s\n  replayed: %s",
+				d.Index, d.Cycle(), d.Recorded, d.Replayed)
+		}
+	}
+	if c.pos < len(c.log.Events) {
+		return fmt.Errorf("flightrec: replay ended after %d of %d recorded events (next recorded: %s)",
+			c.pos, len(c.log.Events), c.log.Events[c.pos])
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+package flightrec
+
+import (
+	"fmt"
+	"io"
+)
+
+// DiffReport is the result of aligning two recordings: header
+// differences, the first event-stream divergence with windowed context,
+// the subsystem that diverged first, and the first checksum mismatch.
+type DiffReport struct {
+	// MetaA and MetaB are the two recording headers.
+	MetaA, MetaB Meta
+	// MetaDiffs lists fingerprint fields that differ, "name: a vs b".
+	MetaDiffs []string
+
+	// EventsA and EventsB are the stream lengths.
+	EventsA, EventsB int
+
+	// Diverged reports whether the streams differ at all.
+	Diverged bool
+	// Index is the first differing stream position.
+	Index int
+	// EventA and EventB are the events at Index; one is nil when that
+	// stream ended before Index.
+	EventA, EventB *Event
+	// Cycle is the first-divergence cycle: the earliest cycle either
+	// stream holds at Index (-1 when the streams are identical).
+	Cycle int64
+	// Subsystem blames the simulator subsystem whose commitment
+	// diverged first (from the earlier of the two events at Index).
+	Subsystem string
+	// ContextA and ContextB are the events around Index (window before,
+	// window after) from each stream.
+	ContextA, ContextB []Event
+
+	// ChecksumOrdinal is the position, within the per-SM checksum
+	// stream, of the first checksum mismatch (-1 when all aligned
+	// checksums agree).
+	ChecksumOrdinal int
+	// ChecksumSM is the SM whose checksum stream diverged first.
+	ChecksumSM int
+	// ChecksumCycleA and ChecksumCycleB are the cycles of the first
+	// mismatching checksum pair in each recording.
+	ChecksumCycleA, ChecksumCycleB int64
+}
+
+// Diff aligns two recordings and locates their first divergence. The
+// streams are compared position by position (the simulator emits events
+// deterministically, so equal prefixes mean equal behaviour); window
+// sets how many events of context to keep on each side of the
+// divergence.
+func Diff(a, b *Log, window int) *DiffReport {
+	if window < 0 {
+		window = 0
+	}
+	r := &DiffReport{
+		MetaA: a.Meta, MetaB: b.Meta,
+		EventsA: len(a.Events), EventsB: len(b.Events),
+		Index: -1, Cycle: -1, ChecksumOrdinal: -1, ChecksumSM: -1,
+		ChecksumCycleA: -1, ChecksumCycleB: -1,
+	}
+	fa, fb := a.Meta.Fields(), b.Meta.Fields()
+	for i := range fa {
+		if fa[i][1] != fb[i][1] {
+			r.MetaDiffs = append(r.MetaDiffs, fmt.Sprintf("%s: %s vs %s", fa[i][0], fa[i][1], fb[i][1]))
+		}
+	}
+
+	n := len(a.Events)
+	if len(b.Events) < n {
+		n = len(b.Events)
+	}
+	idx := -1
+	for i := 0; i < n; i++ {
+		if a.Events[i] != b.Events[i] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 && len(a.Events) != len(b.Events) {
+		idx = n // one stream is a strict prefix of the other
+	}
+	if idx >= 0 {
+		r.Diverged = true
+		r.Index = idx
+		if idx < len(a.Events) {
+			r.EventA = &a.Events[idx]
+		}
+		if idx < len(b.Events) {
+			r.EventB = &b.Events[idx]
+		}
+		first := r.EventA
+		switch {
+		case first == nil:
+			first = r.EventB
+		case r.EventB != nil && r.EventB.Cycle < first.Cycle:
+			first = r.EventB
+		}
+		r.Cycle = first.Cycle
+		r.Subsystem = first.Kind.Subsystem()
+		r.ContextA = contextWindow(a.Events, idx, window)
+		r.ContextB = contextWindow(b.Events, idx, window)
+		r.firstChecksumMismatch(a, b)
+	}
+	return r
+}
+
+// contextWindow slices the events around idx: window before, the event
+// itself, and window after.
+func contextWindow(events []Event, idx, window int) []Event {
+	lo := idx - window
+	if lo < 0 {
+		lo = 0
+	}
+	hi := idx + window + 1
+	if hi > len(events) {
+		hi = len(events)
+	}
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Event, hi-lo)
+	copy(out, events[lo:hi])
+	return out
+}
+
+// firstChecksumMismatch aligns the two checksum streams per SM by
+// ordinal (the k-th checksum of an SM lands on the same cycle in both
+// runs while both are still busy) and records the earliest mismatch.
+func (r *DiffReport) firstChecksumMismatch(a, b *Log) {
+	sumsA := checksumsBySM(a)
+	sumsB := checksumsBySM(b)
+	for sm, ca := range sumsA {
+		cb, ok := sumsB[sm]
+		if !ok {
+			continue
+		}
+		n := len(ca)
+		if len(cb) < n {
+			n = len(cb)
+		}
+		for k := 0; k < n; k++ {
+			if ca[k].A == cb[k].A && ca[k].B == cb[k].B && ca[k].Cycle == cb[k].Cycle {
+				continue
+			}
+			if r.ChecksumOrdinal < 0 || ca[k].Cycle < r.ChecksumCycleA {
+				r.ChecksumOrdinal = k
+				r.ChecksumSM = sm
+				r.ChecksumCycleA = ca[k].Cycle
+				r.ChecksumCycleB = cb[k].Cycle
+			}
+			break
+		}
+	}
+}
+
+// checksumsBySM groups a log's checksum events by SM, in stream order.
+func checksumsBySM(l *Log) map[int][]Event {
+	out := make(map[int][]Event)
+	for _, e := range l.Events {
+		if e.Kind == KindChecksum {
+			out[e.SM] = append(out[e.SM], e)
+		}
+	}
+	return out
+}
+
+// WriteText renders the report for a terminal.
+func (r *DiffReport) WriteText(w io.Writer) error {
+	p := func(format string, args ...interface{}) { fmt.Fprintf(w, format, args...) }
+	labelOf := func(m Meta, fallback string) string {
+		if m.Label != "" {
+			return m.Label
+		}
+		return fallback
+	}
+	la, lb := labelOf(r.MetaA, "A"), labelOf(r.MetaB, "B")
+	p("recording A: %s (%d events)\n", la, r.EventsA)
+	p("recording B: %s (%d events)\n", lb, r.EventsB)
+	if len(r.MetaDiffs) == 0 {
+		p("configurations: identical fingerprints\n")
+	} else {
+		p("configuration differences:\n")
+		for _, d := range r.MetaDiffs {
+			p("  %s\n", d)
+		}
+	}
+	if !r.Diverged {
+		p("\nruns are IDENTICAL: %d events match\n", r.EventsA)
+		return nil
+	}
+	p("\nFIRST DIVERGENCE at event %d, cycle %d (subsystem: %s)\n", r.Index, r.Cycle, r.Subsystem)
+	switch {
+	case r.EventA == nil:
+		p("  A ended; B continues with: %s\n", r.EventB)
+	case r.EventB == nil:
+		p("  B ended; A continues with: %s\n", r.EventA)
+	default:
+		p("  A: %s\n  B: %s\n", r.EventA, r.EventB)
+	}
+	if r.ChecksumOrdinal >= 0 {
+		p("\nfirst checksum mismatch: sm%d checksum #%d (cycle %d in A, %d in B)\n",
+			r.ChecksumSM, r.ChecksumOrdinal, r.ChecksumCycleA, r.ChecksumCycleB)
+	} else {
+		p("\nno aligned checksum mismatch (divergence is past the last common checksum)\n")
+	}
+	p("\ncontext in A (%s):\n", la)
+	for _, e := range r.ContextA {
+		p("  %s\n", e)
+	}
+	p("context in B (%s):\n", lb)
+	for _, e := range r.ContextB {
+		p("  %s\n", e)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package flightrec
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Log is one complete recording: the header plus the ordered event
+// stream.
+type Log struct {
+	Meta   Meta
+	Events []Event
+}
+
+// WriteNDJSON streams the recording as newline-delimited JSON: the
+// header object on the first line, then one event per line.
+func (l *Log) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(l.Meta); err != nil {
+		return err
+	}
+	for i := range l.Events {
+		if err := enc.Encode(l.Events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses a recording written by WriteNDJSON, validating the
+// schema tag before touching the event stream.
+func ReadNDJSON(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("flightrec: empty recording")
+	}
+	var l Log
+	if err := json.Unmarshal(sc.Bytes(), &l.Meta); err != nil {
+		return nil, fmt.Errorf("flightrec: bad header: %w", err)
+	}
+	if l.Meta.Schema != Schema {
+		return nil, fmt.Errorf("flightrec: schema %q, want %q", l.Meta.Schema, Schema)
+	}
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("flightrec: line %d: %w", line, err)
+		}
+		l.Events = append(l.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// ReadFile loads a recording from disk.
+func ReadFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := ReadNDJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return l, nil
+}
+
+// Checksums returns the log's checksum events in stream order.
+func (l *Log) Checksums() []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == KindChecksum {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CountKind returns how many events have the given kind.
+func (l *Log) CountKind(k Kind) int {
+	n := 0
+	for i := range l.Events {
+		if l.Events[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"pilotrf/internal/energy"
+	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
@@ -168,6 +169,15 @@ type Config struct {
 	// the swap-decision audit trail. Nil disables auditing with no
 	// overhead.
 	Audit *profile.AuditLog
+
+	// Record, when set, streams flight-recorder events into the sink:
+	// issue decisions, warp lifecycle transitions, FRF/SRF routing,
+	// swap-table installs, adaptive mode flips, and periodic
+	// architectural-state checksums every Sink.ChecksumEvery() cycles.
+	// A flightrec.Recorder captures a run; a flightrec.Checker verifies
+	// a replay against a prior recording. Nil disables recording with no
+	// overhead.
+	Record flightrec.Sink
 
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/kernel"
 	"pilotrf/internal/stats"
@@ -90,6 +91,12 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 	if g.cfg.Energy != nil {
 		run.enKernel = g.cfg.Energy.BeginKernel()
 	}
+	if g.cfg.Record != nil {
+		g.cfg.Record.Record(flightrec.Event{
+			Cycle: 0, SM: -1, Kind: flightrec.KindKernelBegin, Warp: -1, PC: -1,
+			A: uint64(k.NumCTAs), Detail: k.Prog.Name,
+		})
+	}
 
 	sms := make([]*sm, g.cfg.NumSMs)
 	for i := range sms {
@@ -148,9 +155,20 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 			s.flushEnergyEpoch()
 			s.foldHeat()
 		}
+		if s.rec != nil {
+			// Final architectural-state checksum per SM, so even short
+			// kernels carry at least one checksum to compare.
+			s.recordChecksum()
+		}
 	}
 	if g.cfg.Energy != nil {
 		g.cfg.Energy.EndKernel(cycle)
+	}
+	if g.cfg.Record != nil {
+		g.cfg.Record.Record(flightrec.Event{
+			Cycle: cycle, SM: -1, Kind: flightrec.KindKernelEnd, Warp: -1, PC: -1,
+			A: ks.WarpInstrs, Detail: k.Prog.Name,
+		})
 	}
 
 	// Pilot fraction and adaptive statistics, averaged over SMs.

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"pilotrf/internal/flightrec"
+	"pilotrf/internal/isa"
+)
+
+// NewFlightRecorder returns a flight recorder whose header fingerprints
+// the configuration — the fields a replay must match for the recording
+// to be comparable. A non-positive checksumEvery selects the default
+// interval.
+func NewFlightRecorder(cfg *Config, label string, checksumEvery int64) *flightrec.Recorder {
+	return flightrec.NewRecorder(flightrec.Meta{
+		Label:         label,
+		Seed:          cfg.Seed,
+		Design:        cfg.RF.Design.String(),
+		Profiling:     cfg.Profiling.String(),
+		Policy:        cfg.Policy.String(),
+		SMs:           cfg.NumSMs,
+		ChecksumEvery: checksumEvery,
+	})
+}
+
+// record emits one flight-recorder event at the SM's current cycle.
+// Callers must hold s.rec != nil.
+func (s *sm) record(k flightrec.Kind, warp, pc int, a, b uint64, detail string) {
+	s.rec.Record(flightrec.Event{
+		Cycle: s.now, SM: s.id, Kind: k,
+		Warp: warp, PC: pc, A: a, B: b, Detail: detail,
+	})
+}
+
+// recordTick advances the periodic-checksum countdown at the end of each
+// SM cycle. The nil guard is the entire disabled-path cost.
+func (s *sm) recordTick() {
+	if s.rec == nil {
+		return
+	}
+	s.recCycles++
+	if s.recCycles >= s.recEvery {
+		s.recordChecksum()
+		s.recCycles = 0
+	}
+}
+
+// recordChecksum hashes the SM's architectural state into one event:
+// A = register-file contents over all resident warps, B = control state
+// (SIMT stacks, predicates, scoreboards, barrier/done flags, the swap
+// mapping, and the adaptive FRF power mode). Warps are visited in slot
+// order, so the hash is deterministic for a deterministic run.
+func (s *sm) recordChecksum() {
+	rf := uint64(fnvOffset)
+	ctl := uint64(fnvOffset)
+	for _, w := range s.warps {
+		if w == nil {
+			continue
+		}
+		ctl = fnvAdd(ctl, uint64(w.slot))
+		for _, e := range w.stack {
+			ctl = fnvAdd(ctl, uint64(uint32(e.pc)))
+			ctl = fnvAdd(ctl, uint64(uint32(e.rpc)))
+			ctl = fnvAdd(ctl, uint64(e.mask))
+		}
+		for _, p := range w.preds {
+			ctl = fnvAdd(ctl, uint64(p))
+		}
+		ctl = fnvAdd(ctl, w.pendingRegs)
+		ctl = fnvAdd(ctl, uint64(w.pendingPreds))
+		var flags uint64
+		if w.atBarrier {
+			flags |= 1
+		}
+		if w.done {
+			flags |= 2
+		}
+		ctl = fnvAdd(ctl, flags)
+		for r := range w.regs {
+			for lane := range w.regs[r] {
+				rf = fnvAdd(rf, uint64(w.regs[r][lane]))
+			}
+		}
+	}
+	ctl = fnvAdd(ctl, s.mappingHash())
+	if a := s.rf.Adaptive(); a != nil && a.LowPower() {
+		ctl = fnvAdd(ctl, 1)
+	}
+	s.record(flightrec.KindChecksum, -1, -1, rf, ctl, "")
+}
+
+// mappingHash fingerprints the swapping table: the physical location of
+// every architected register.
+func (s *sm) mappingHash() uint64 {
+	m := s.rf.Mapper()
+	h := uint64(fnvOffset)
+	for r := 0; r < isa.MaxRegs; r++ {
+		h = fnvAdd(h, uint64(m.Lookup(isa.Reg(r))))
+	}
+	return h
+}
+
+// FNV-1a 64-bit constants.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnvAdd folds one 64-bit value into an FNV-1a hash, byte by byte.
+func fnvAdd(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

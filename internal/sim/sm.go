@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
@@ -44,6 +45,12 @@ type sm struct {
 	kernelLaunch bool
 	wasLowPower  bool // previous adaptive mode, for trace transitions
 
+	// Flight recorder sink (nil unless Config.Record is set); recEvery
+	// is the checksum interval and recCycles the countdown within it.
+	rec       flightrec.Sink
+	recEvery  int64
+	recCycles int64
+
 	// Telemetry (nil unless Config.Stalls or Config.Metrics is set).
 	tel *smTelemetry
 	// Energy attribution (nil unless Config.Energy is set).
@@ -80,6 +87,13 @@ func newSM(id int, cfg *Config, run *runState) *sm {
 		s.profCtl.SM = id
 		s.profCtl.Audit = cfg.Audit
 		s.profCtl.Now = func() int64 { return s.now }
+	}
+	if cfg.Record != nil {
+		s.rec = cfg.Record
+		s.recEvery = cfg.Record.ChecksumEvery()
+		if s.recEvery <= 0 {
+			s.recEvery = flightrec.DefaultChecksumEvery
+		}
 	}
 	if cfg.Stalls || cfg.Metrics != nil {
 		s.tel = newSMTelemetry(cfg.Metrics, cfg.RF.Design)
@@ -171,9 +185,15 @@ func (s *sm) launchCTA(ctaID int) {
 		pilot := cta.warps[s.cfg.PilotWarpIndex%len(cta.warps)]
 		s.profCtl.KernelLaunch(k.Prog, pilot.slot)
 		s.pilotWarp = pilot
+		if s.rec != nil {
+			s.record(flightrec.KindSwapInstall, pilot.slot, -1, s.mappingHash(), 0, "kernel-launch")
+		}
 	}
 	s.residentCTAs++
 	s.trace(TraceCTALaunch, -1, -1, "cta %d (%d warps)", ctaID, warpsPer)
+	if s.rec != nil {
+		s.record(flightrec.KindCTALaunch, -1, -1, uint64(ctaID), uint64(warpsPer), "")
+	}
 	if s.cfg.Policy == PolicyTL {
 		// Newly launched warps may land in slots currently on the
 		// pending lists; give the active pools a chance to refill.
@@ -214,6 +234,13 @@ func (s *sm) tick() {
 		a.Tick()
 		if low := a.LowPower(); low != s.wasLowPower {
 			s.trace(TraceModeSwitch, -1, -1, "FRF %s power", map[bool]string{true: "low", false: "high"}[low])
+			if s.rec != nil {
+				var toLow uint64
+				if low {
+					toLow = 1
+				}
+				s.record(flightrec.KindModeFlip, -1, -1, toLow, 0, "")
+			}
 			s.wasLowPower = low
 		}
 	}
@@ -227,6 +254,7 @@ func (s *sm) tick() {
 	if s.en != nil {
 		s.energyCycle()
 	}
+	s.recordTick()
 	s.now++
 }
 
@@ -286,6 +314,9 @@ func (s *sm) issue(sc *schedState, w *warpCtx) {
 	w.lastIssue = s.now
 	s.run.stats.ThreadInstrs += uint64(popcount(activeMask))
 	s.trace(TraceIssue, w.slot, w.pc(), "%s [lanes %d]", in.String(), popcount(activeMask))
+	if s.rec != nil {
+		s.record(flightrec.KindIssue, w.slot, w.pc(), uint64(in.Op), uint64(activeMask), in.Op.String())
+	}
 
 	if in.Op.ClassOf() == isa.ClassCtrl {
 		s.issueControl(sc, w, in, activeMask)
@@ -405,11 +436,17 @@ func (s *sm) retireWarp(w *warpCtx) {
 	w.finishCycle = s.now
 	s.liveWarps--
 	s.trace(TraceWarpRetire, w.slot, -1, "cta %d", w.cta.id)
+	if s.rec != nil {
+		s.record(flightrec.KindWarpRetire, w.slot, -1, uint64(w.cta.id), 0, "")
+	}
 	if w == s.pilotWarp && !s.ranPilot {
 		s.profCtl.OnWarpComplete(w.slot)
 		s.pilotFinish = s.now
 		s.ranPilot = true
 		s.trace(TracePilotDone, w.slot, -1, "pilot finished; mapping updated")
+		if s.rec != nil {
+			s.record(flightrec.KindSwapInstall, w.slot, -1, s.mappingHash(), 0, "pilot-complete")
+		}
 	}
 	cta := w.cta
 	cta.live--
@@ -436,15 +473,20 @@ func (s *sm) checkBarrier(cta *ctaCtx) {
 	if waiting == 0 || waiting < cta.live {
 		return
 	}
+	released := 0
 	for _, w := range cta.warps {
 		if w.atBarrier {
 			w.atBarrier = false
 			cta.arrived--
+			released++
 			if s.cfg.Policy == PolicyTL {
 				sc := s.schedulers[w.slot%s.cfg.Schedulers]
 				sc.promote(s)
 			}
 		}
+	}
+	if s.rec != nil && released > 0 {
+		s.record(flightrec.KindBarrierRelease, -1, -1, uint64(cta.id), uint64(released), "")
 	}
 }
 
@@ -481,6 +523,9 @@ func (s *sm) countAccesses(w *warpCtx, in *isa.Instruction) {
 // ledger's conservation against KernelStats.PartAccesses exact.
 func (s *sm) countPartAccess(p regfile.Partition, warp int, arch isa.Reg) {
 	s.run.stats.PartAccesses[p]++
+	if s.rec != nil {
+		s.record(flightrec.KindRoute, warp, -1, uint64(p), uint64(arch), "")
+	}
 	if s.tel != nil {
 		s.tel.cur.parts[p]++
 	}

@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"pilotrf/internal/energy"
+	"pilotrf/internal/flightrec"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
@@ -57,6 +58,9 @@ const (
 	ProfileCompiler     = profile.TechniqueCompiler
 	ProfilePilot        = profile.TechniquePilot
 	ProfileHybrid       = profile.TechniqueHybrid
+	// ProfileOracle uses measured top registers from a prior run (set
+	// them on Config().Oracle) — the upper bound pilot profiling chases.
+	ProfileOracle = profile.TechniqueOracle
 )
 
 // Scheduler selects the warp scheduling policy.
@@ -261,6 +265,54 @@ func (s *Simulator) EnableMetrics(epochCycles int) *MetricsRecorder {
 	s.cfg.Stalls = true
 	return rec
 }
+
+// Flight recorder types, re-exported for deterministic run capture,
+// replay verification, and cross-run divergence diffing.
+type (
+	// FlightRecorder captures a run's architectural commitments (issue
+	// decisions, warp lifecycle, RF routing, swap installs, mode flips,
+	// periodic state checksums) into an in-memory event log.
+	FlightRecorder = flightrec.Recorder
+	// Recording is one captured run: header plus ordered event stream,
+	// serializable as pilotrf-flightrec/v1 NDJSON.
+	Recording = flightrec.Log
+	// FlightEvent is one recorded architectural commitment.
+	FlightEvent = flightrec.Event
+	// ReplayChecker verifies a live run against a prior recording and
+	// reports the first mismatching event.
+	ReplayChecker = flightrec.Checker
+	// DiffReport locates the first divergence between two recordings.
+	DiffReport = flightrec.DiffReport
+)
+
+// EnableFlightRecorder makes subsequent runs stream every architectural
+// commitment into the returned recorder, with a state checksum every
+// checksumEvery cycles (<= 0 selects the default interval). Serialize
+// the recording with Recorder.Log().WriteNDJSON and diff two recordings
+// with DiffRecordings or cmd/rfdiff.
+func (s *Simulator) EnableFlightRecorder(checksumEvery int) *FlightRecorder {
+	rec := sim.NewFlightRecorder(&s.cfg, "", int64(checksumEvery))
+	s.cfg.Record = rec
+	return rec
+}
+
+// EnableReplayCheck makes subsequent runs verify against the recording:
+// after the run, the returned checker's Err reports nil when the replay
+// matched event for event, and the first divergence otherwise.
+func (s *Simulator) EnableReplayCheck(log *Recording) *ReplayChecker {
+	chk := flightrec.NewChecker(log)
+	s.cfg.Record = chk
+	return chk
+}
+
+// DiffRecordings aligns two recordings and reports their first
+// divergence with window events of context on each side.
+func DiffRecordings(a, b *Recording, window int) *DiffReport {
+	return flightrec.Diff(a, b, window)
+}
+
+// ReadRecording loads a pilotrf-flightrec/v1 NDJSON recording.
+func ReadRecording(path string) (*Recording, error) { return flightrec.ReadFile(path) }
 
 // Result is the outcome of running one workload.
 type Result struct {
