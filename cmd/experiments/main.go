@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"pilotrf/internal/benchjson"
 	"pilotrf/internal/experiments"
@@ -84,6 +86,14 @@ func runBenchJSON(outPath string) error {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes the sweep and returns the process exit code: 0 on
+// success, 1 on failure, 3 when a SIGINT/SIGTERM stopped the sweep
+// early (the experiments that finished are still printed and the JSON
+// report still written).
+func run() int {
 	var (
 		scale     = flag.Float64("scale", 1, "workload CTA scale factor")
 		sms       = flag.Int("sms", 2, "simulated SMs")
@@ -98,16 +108,16 @@ func main() {
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *httpAddr != "" {
 		srv, err := telemetry.StartLive(*httpAddr, telemetry.NewRegistry())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "serving expvar/pprof on %s\n", srv.Addr)
@@ -117,21 +127,40 @@ func main() {
 		"scale": *scale,
 		"sms":   *sms,
 	}
-	defer func() {
+	writeReport := func() int {
 		if *jsonPath == "" {
-			return
+			return 0
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("JSON report written to %s\n", *jsonPath)
-	}()
+		return 0
+	}
+
+	// SIGINT/SIGTERM stop the sweep at the next experiment boundary:
+	// sel() starts refusing every section, the partial JSON report still
+	// flushes, and the process exits 3.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	stopped := false
+	interrupted := func() bool {
+		if !stopped {
+			select {
+			case <-sigc:
+				stopped = true
+			default:
+			}
+		}
+		return stopped
+	}
 
 	want := map[string]bool{}
 	for _, name := range strings.Split(*only, ",") {
@@ -139,7 +168,9 @@ func main() {
 			want[name] = true
 		}
 	}
-	sel := func(name string) bool { return len(want) == 0 || want[name] }
+	sel := func(name string) bool {
+		return !interrupted() && (len(want) == 0 || want[name])
+	}
 
 	r := experiments.NewRunner(*scale, *sms)
 	if *parallel {
@@ -403,4 +434,13 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	code := writeReport()
+	if stopped {
+		fmt.Fprintln(os.Stderr, "interrupted: sweep stopped early, partial report flushed")
+		if code == 0 {
+			code = 3
+		}
+	}
+	return code
 }

@@ -1,0 +1,303 @@
+// Command faultcampaign runs seeded soft-error injection campaigns over
+// the register-file designs and protection schemes and classifies every
+// trial's outcome:
+//
+//	masked                  — faults struck but never corrupted consumed
+//	                          dataflow (dead cells, overwrites, no strikes)
+//	corrected               — a protection code corrected or retried at
+//	                          least one strike; dataflow stayed golden
+//	detected-unrecoverable  — parity detection exhausted its warp-level
+//	                          retries and the kernel aborted cleanly
+//	sdc                     — silent data corruption: the run completed
+//	                          but its dataflow digest diverged from the
+//	                          fault-free golden run, or the corrupted
+//	                          control flow span past the watchdog budget
+//	                          (50x the golden run's cycles)
+//
+// SDC detection compares the flight recorder's commutative read digest
+// against a fault-free golden run of the same (design, workload), so
+// timing drift from retries never masquerades as corruption.
+//
+// Usage:
+//
+//	faultcampaign [-bench csv] [-designs csv] [-protect csv]
+//	              [-trials n] [-rate f] [-seed n] [-scale f] [-sms n]
+//	              [-out report.json] [-v]
+//
+// The whole campaign derives from -seed: equal flags produce a
+// byte-identical report.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pilotrf/internal/fault"
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/sim"
+	"pilotrf/internal/workloads"
+)
+
+// Schema identifies the report format; bump on incompatible change.
+const Schema = "pilotrf-faultcampaign/v1"
+
+// Outcomes counts trial classifications within one campaign cell.
+type Outcomes struct {
+	Masked                int `json:"masked"`
+	Corrected             int `json:"corrected"`
+	DetectedUnrecoverable int `json:"detected_unrecoverable"`
+	SDC                   int `json:"sdc"`
+}
+
+// Cell is one (design, protection, workload) campaign cell: trial
+// classifications plus the aggregate fault counters across its trials.
+type Cell struct {
+	Design       string   `json:"design"`
+	Protection   string   `json:"protection"`
+	Workload     string   `json:"workload"`
+	Outcomes     Outcomes `json:"outcomes"`
+	Injected     uint64   `json:"injected"`
+	Corrected    uint64   `json:"corrected"`
+	Retries      uint64   `json:"retries"`
+	SilentReads  uint64   `json:"silent_reads"`
+	CAMCorrupted uint64   `json:"cam_corrupted"`
+}
+
+// Report is the versioned campaign result.
+type Report struct {
+	Schema string  `json:"schema"`
+	Rate   float64 `json:"rate"`
+	Seed   uint64  `json:"seed"`
+	Trials int     `json:"trials"`
+	Scale  float64 `json:"scale"`
+	SMs    int     `json:"sms"`
+	Cells  []Cell  `json:"cells"`
+}
+
+// usageError marks a bad flag value, exiting 2 rather than the runtime
+// failures' 1.
+type usageError struct{ error }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		if _, ok := err.(usageError); ok {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseDesign maps the CLI design names (shared with pilotsim) to designs.
+func parseDesign(name string) (regfile.Design, error) {
+	switch name {
+	case "mrf-stv":
+		return regfile.DesignMonolithicSTV, nil
+	case "mrf-ntv":
+		return regfile.DesignMonolithicNTV, nil
+	case "part":
+		return regfile.DesignPartitioned, nil
+	case "part-adaptive":
+		return regfile.DesignPartitionedAdaptive, nil
+	default:
+		return 0, fmt.Errorf("unknown design %q", name)
+	}
+}
+
+// trialSeed derives the fault seed of one trial from the campaign seed.
+// The injector further salts per SM, so every (trial, SM) process is an
+// independent, reproducible stream.
+func trialSeed(seed uint64, trial int) uint64 {
+	return seed + uint64(trial+1)*0xA24BAED4963EE407
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("faultcampaign", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "", "comma-separated benchmark names (empty = all)")
+		designs   = fs.String("designs", "mrf-ntv,part,part-adaptive", "comma-separated designs (mrf-stv | mrf-ntv | part | part-adaptive)")
+		protect   = fs.String("protect", "none,parity,secded,paper", "comma-separated protection schemes (none | parity | secded | paper)")
+		trials    = fs.Int("trials", 5, "seeded injection trials per cell")
+		rate      = fs.Float64("rate", 2e-11, "accelerated soft-error rate (upsets/bit/cycle at STV)")
+		seed      = fs.Uint64("seed", 1, "campaign seed; the whole report derives from it")
+		scale     = fs.Float64("scale", 0.05, "CTA count scale factor")
+		sms       = fs.Int("sms", 2, "number of SMs")
+		outPath   = fs.String("out", "", "write the JSON report here (empty = stdout)")
+		verbose   = fs.Bool("v", false, "print a per-cell summary table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trials <= 0 {
+		return usageError{fmt.Errorf("trials must be positive, got %d", *trials)}
+	}
+	if (fault.Config{Rate: *rate}).Validate() != nil || *rate == 0 {
+		return usageError{fmt.Errorf("rate must be a positive finite upsets/bit/cycle, got %v", *rate)}
+	}
+
+	var ds []regfile.Design
+	var dNames []string
+	for _, name := range strings.Split(*designs, ",") {
+		name = strings.TrimSpace(name)
+		d, err := parseDesign(name)
+		if err != nil {
+			return usageError{err}
+		}
+		ds = append(ds, d)
+		dNames = append(dNames, name)
+	}
+	var schemes []fault.Scheme
+	var schemeNames []string
+	for _, name := range strings.Split(*protect, ",") {
+		name = strings.TrimSpace(name)
+		s, err := fault.ParseScheme(name)
+		if err != nil {
+			return usageError{err}
+		}
+		schemes = append(schemes, s)
+		schemeNames = append(schemeNames, name)
+	}
+	var wls []workloads.Workload
+	if *benchName == "" {
+		wls = workloads.All()
+	} else {
+		for _, name := range strings.Split(*benchName, ",") {
+			w, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return usageError{err}
+			}
+			wls = append(wls, w)
+		}
+	}
+
+	rep := Report{Schema: Schema, Rate: *rate, Seed: *seed, Trials: *trials, Scale: *scale, SMs: *sms}
+	if *verbose {
+		fmt.Fprintf(stdout, "%-14s %-8s %-10s %7s %7s %7s %7s %9s\n",
+			"design", "protect", "bench", "masked", "corr", "unrec", "sdc", "injected")
+	}
+	for di, d := range ds {
+		cfg := sim.DefaultConfig().WithDesign(d)
+		cfg.NumSMs = *sms
+		for _, w := range wls {
+			w = w.Scale(*scale)
+			golden, goldenCycles, err := goldenRun(cfg, w)
+			if err != nil {
+				return fmt.Errorf("golden %v/%s: %w", d, w.Name, err)
+			}
+			for si, scheme := range schemes {
+				cell, err := runCell(cfg, w, golden, goldenCycles, scheme, *rate, *seed, *trials)
+				if err != nil {
+					return fmt.Errorf("%v/%s/%s: %w", d, schemeNames[si], w.Name, err)
+				}
+				cell.Design = dNames[di]
+				cell.Protection = schemeNames[si]
+				rep.Cells = append(rep.Cells, cell)
+				if *verbose {
+					o := cell.Outcomes
+					fmt.Fprintf(stdout, "%-14s %-8s %-10s %7d %7d %7d %7d %9d\n",
+						cell.Design, cell.Protection, cell.Workload,
+						o.Masked, o.Corrected, o.DetectedUnrecoverable, o.SDC, cell.Injected)
+				}
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *outPath == "" {
+		_, err := stdout.Write(buf)
+		return err
+	}
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d cells to %s\n", len(rep.Cells), *outPath)
+	return nil
+}
+
+// goldenRun executes the workload fault-free and returns its dataflow
+// digest — the reference every trial of the same (design, workload)
+// compares against — plus its total cycle count, which sizes the
+// trials' watchdog budget.
+func goldenRun(cfg sim.Config, w workloads.Workload) (*fault.DigestProbe, int64, error) {
+	probe := fault.NewDigestProbe()
+	cfg.Record = probe
+	g, err := sim.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	rs, err := g.RunKernels(w.Name, w.Kernels)
+	if err != nil {
+		return nil, 0, err
+	}
+	return probe, rs.TotalCycles(), nil
+}
+
+// watchdogBudget bounds a faulty trial's runtime: a fault that corrupts
+// control flow can spin a kernel forever, and without a tight budget a
+// single runaway trial stalls the whole campaign for the simulator's
+// default 200M-cycle limit. 50x the fault-free run plus slack is far
+// above any legitimate retry overhead (bounded re-issues at a few
+// cycles each) while catching runaways in milliseconds.
+func watchdogBudget(goldenCycles int64) int64 {
+	return 50*goldenCycles + 10_000
+}
+
+// runCell executes the trials of one campaign cell and classifies each.
+func runCell(cfg sim.Config, w workloads.Workload, golden *fault.DigestProbe, goldenCycles int64, scheme fault.Scheme, rate float64, seed uint64, trials int) (Cell, error) {
+	cell := Cell{Workload: w.Name}
+	cfg.MaxCycles = watchdogBudget(goldenCycles)
+	for t := 0; t < trials; t++ {
+		probe := fault.NewDigestProbe()
+		cfg.Record = probe
+		cfg.Protect = scheme
+		cfg.Fault = &fault.Config{Rate: rate, Seed: trialSeed(seed, t)}
+		g, err := sim.New(cfg)
+		if err != nil {
+			return cell, err
+		}
+		rs, err := g.RunKernels(w.Name, w.Kernels)
+		st := rs.FaultTotals()
+		cell.Injected += st.TotalInjected()
+		cell.Corrected += st.Corrected
+		cell.Retries += st.DetectedRetry
+		cell.SilentReads += st.SilentReads
+		cell.CAMCorrupted += st.CAMCorrupted
+
+		var ue *fault.UnrecoverableError
+		switch {
+		case errors.As(err, &ue):
+			cell.Outcomes.DetectedUnrecoverable++
+		case errors.Is(err, sim.ErrCycleLimit):
+			// A fault corrupted control flow into a runaway loop; the
+			// watchdog caught it. Nothing detected it architecturally,
+			// so it is silent corruption, not graceful degradation.
+			cell.Outcomes.SDC++
+		case err != nil:
+			// Anything but a clean fault abort is a campaign bug.
+			return cell, err
+		case diverged(probe, golden):
+			cell.Outcomes.SDC++
+		case st.Corrected+st.RetrySuccess+st.CAMRepaired > 0:
+			cell.Outcomes.Corrected++
+		default:
+			cell.Outcomes.Masked++
+		}
+	}
+	return cell, nil
+}
+
+// diverged reports whether the trial's dataflow digest differs from the
+// golden run on any kernel.
+func diverged(probe, golden *fault.DigestProbe) bool {
+	_, div := probe.Diverged(golden)
+	return div
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// campaignArgs is a small two-cell campaign that still exercises every
+// classification path cheaply.
+func campaignArgs(extra ...string) []string {
+	base := []string{
+		"-bench", "sgemm", "-designs", "part-adaptive",
+		"-protect", "none,parity,secded", "-trials", "3",
+		"-rate", "2e-11", "-seed", "42", "-sms", "1",
+	}
+	return append(base, extra...)
+}
+
+// TestCampaignReportByteDeterminism is the acceptance property: the same
+// -seed must reproduce a byte-identical report.
+func TestCampaignReportByteDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	var out bytes.Buffer
+	if err := run(campaignArgs("-out", a), &out); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := run(campaignArgs("-out", b), &out); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	ab, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Error("same seed produced different reports")
+	}
+
+	c := filepath.Join(dir, "c.json")
+	if err := run(campaignArgs("-out", c, "-seed", "43"), &out); err != nil {
+		t.Fatalf("reseeded run: %v", err)
+	}
+	cb, err := os.ReadFile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ab, cb) {
+		t.Error("different seeds produced identical reports (seed unused?)")
+	}
+}
+
+// TestCampaignReportShape parses the report and checks the schema tag,
+// cell coverage, and that every trial was classified exactly once.
+func TestCampaignReportShape(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(campaignArgs(), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("cells = %d, want 1 design x 3 schemes x 1 workload", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		o := c.Outcomes
+		if got := o.Masked + o.Corrected + o.DetectedUnrecoverable + o.SDC; got != rep.Trials {
+			t.Errorf("%s/%s: %d classified outcomes, want %d", c.Design, c.Protection, got, rep.Trials)
+		}
+	}
+}
+
+// TestCampaignProtectionOrdering: on the same seeded strikes, SECDED
+// must never produce SDC or aborts, and the unprotected cell must never
+// report corrections — the classification must reflect the scheme.
+func TestCampaignProtectionOrdering(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(campaignArgs("-trials", "4", "-rate", "1e-10"), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	byScheme := map[string]Cell{}
+	for _, c := range rep.Cells {
+		byScheme[c.Protection] = c
+	}
+	if c := byScheme["secded"]; c.Outcomes.SDC != 0 || c.Outcomes.DetectedUnrecoverable != 0 {
+		t.Errorf("secded cell leaked failures: %+v", c.Outcomes)
+	}
+	if c := byScheme["none"]; c.Outcomes.Corrected != 0 || c.Outcomes.DetectedUnrecoverable != 0 {
+		t.Errorf("unprotected cell claims protection outcomes: %+v", c.Outcomes)
+	}
+	if byScheme["none"].Outcomes.SDC == 0 {
+		t.Error("unprotected cell saw no SDC at a rate chosen to corrupt")
+	}
+	if byScheme["secded"].Corrected == 0 {
+		t.Error("secded cell corrected nothing at a rate chosen to strike")
+	}
+}
+
+// TestCampaignRunawayClassifiedSDC pins the watchdog path with a cell
+// observed in the wild: one of these seeded trials corrupts kmeans
+// control flow into a runaway loop. Without the golden-derived
+// MaxCycles budget this cell burned the simulator's default 200M-cycle
+// limit and then failed the whole campaign; with it, the runaway aborts
+// in milliseconds and classifies as SDC like any other silent
+// corruption.
+func TestCampaignRunawayClassifiedSDC(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench", "kmeans", "-designs", "part", "-protect", "none",
+		"-trials", "5", "-rate", "2e-11", "-seed", "1", "-sms", "2",
+	}, &out)
+	if err != nil {
+		t.Fatalf("runaway trial escaped classification: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Cells[0].Outcomes
+	if got := o.Masked + o.Corrected + o.DetectedUnrecoverable + o.SDC; got != rep.Trials {
+		t.Fatalf("%d classified outcomes, want %d", got, rep.Trials)
+	}
+	if o.SDC == 0 {
+		t.Error("runaway cell reported no SDC")
+	}
+}
+
+// TestCampaignBadFlags: usage errors must name the offending value.
+func TestCampaignBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"-designs", "bogus"},
+		{"-protect", "chipkill"},
+		{"-trials", "0"},
+		{"-rate", "-1"},
+		{"-bench", "no-such-bench"},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 //	         [-energy-out f.csv] [-heatmap-out f.csv|f.json] [-audit-out f.csv|f.json]
 //	         [-record-out f.ndjson] [-record-every k] [-replay-check f.ndjson]
 //	         [-stalls] [-http :6060]
+//	         [-fault-rate f] [-fault-seed n] [-protect none|parity|secded|paper]
 //
 // Observability: -trace-out writes a Chrome/Perfetto trace_event JSON
 // file (open in ui.perfetto.dev), -events-out streams raw events as
@@ -33,18 +34,32 @@
 // the configuration against a prior recording and fails on the first
 // mismatching event. Diff two recordings with cmd/rfdiff.
 //
+// Resilience: -fault-rate enables the seeded soft-error injector (see
+// internal/fault) and prints per-benchmark fault outcome counters;
+// -protect selects the ECC/parity scheme whose check-bit energy the
+// ledger prices. A fault that exhausts its warp-level retries aborts the
+// benchmark with a structured error. cmd/faultcampaign runs full
+// classification campaigns on top of the same machinery.
+//
 // Every output path is created up front, before any simulation runs, so
 // a bad path fails fast without leaving sibling files partially written.
+// SIGINT/SIGTERM stop cleanly at the next benchmark boundary: completed
+// rows stay printed, every output file flushes, and the process exits
+// with code 3.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pilotrf/internal/energy"
+	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
@@ -135,9 +150,18 @@ func (t *countingTracer) Event(e sim.TraceEvent) {
 // failures' 1.
 type usageError struct{ error }
 
+// errInterrupted reports a SIGINT/SIGTERM shutdown: the benchmarks that
+// completed were printed and every requested output file was flushed.
+// It maps to exit code 3 so callers can tell a clean partial run from a
+// failure.
+var errInterrupted = errors.New("interrupted: remaining benchmarks skipped, outputs flushed")
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(3)
+		}
 		if _, ok := err.(usageError); ok {
 			os.Exit(2)
 		}
@@ -168,6 +192,9 @@ func run(args []string, stdout io.Writer) error {
 		replayCheck = fs.String("replay-check", "", "verify this run against a prior -record-out log")
 		stalls      = fs.Bool("stalls", false, "attribute stall cycles and print the breakdown")
 		httpAddr    = fs.String("http", "", "serve expvar/pprof/metrics on this address (e.g. :6060)")
+		faultRate   = fs.Float64("fault-rate", 0, "inject soft errors at this rate (upsets/bit/cycle at STV; 0 = off)")
+		faultSeed   = fs.Uint64("fault-seed", 1, "fault-injection seed")
+		protect     = fs.String("protect", "none", "RF protection scheme: none | parity | secded | paper")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -216,6 +243,17 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *recordOut != "" && *replayCheck != "" {
 		return usageError{fmt.Errorf("-record-out and -replay-check are mutually exclusive (replay verifies, it does not re-record)")}
+	}
+	scheme, err := fault.ParseScheme(*protect)
+	if err != nil {
+		return usageError{err}
+	}
+	cfg.Protect = scheme
+	if *faultRate != 0 {
+		cfg.Fault = &fault.Config{Rate: *faultRate, Seed: *faultSeed}
+		if err := cfg.Fault.Validate(); err != nil {
+			return usageError{err}
+		}
 	}
 
 	var wls []workloads.Workload
@@ -301,9 +339,25 @@ func run(args []string, stdout io.Writer) error {
 	var ledgerParts [4]uint64
 	var ledgerCycles int64
 
+	// Benchmarks stop cleanly at the next boundary on SIGINT/SIGTERM:
+	// the loop breaks, every requested output flushes, and the process
+	// exits 3 instead of dying mid-write.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	interrupted := false
+
 	fmt.Fprintf(stdout, "%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
 		"bench", "cycles", "accesses", "top3", "top4", "top5", "FRF%", "low%", "pilot%", "cgap")
 	for _, w := range wls {
+		select {
+		case <-sigc:
+			interrupted = true
+		default:
+		}
+		if interrupted {
+			break
+		}
 		w = w.Scale(*scale)
 		g, err := sim.New(cfg)
 		if err != nil {
@@ -348,6 +402,11 @@ func run(args []string, stdout io.Writer) error {
 			w.Name, rs.TotalCycles(), rs.TotalAccesses(),
 			rs.TopNShareByKernel(3), rs.TopNShareByKernel(4), rs.TopNShareByKernel(5),
 			rs.FRFShare()*100, lowShare*100, pilotFrac*100, cgap)
+		if cfg.Fault != nil {
+			ft := rs.FaultTotals()
+			fmt.Fprintf(stdout, "    faults[%s]: injected=%d corrected=%d retried=%d silent=%d cam-corrupt=%d\n",
+				scheme, ft.TotalInjected(), ft.Corrected, ft.DetectedRetry, ft.SilentReads, ft.CAMCorrupted)
+		}
 		if *verbose {
 			for _, ks := range rs.Kernels {
 				fmt.Fprintf(stdout, "    %-28s cycles=%-8d instrs=%-8d util=%.2f FRF=%.2f pilot=%.2f simt=%.2f colstall=%d bankq=%.2f\n",
@@ -412,6 +471,9 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stdout, "replay-check: %d events match %s\n", checker.Checked(), *replayCheck)
+	}
+	if interrupted {
+		return errInterrupted
 	}
 	return nil
 }

@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"pilotrf/internal/flightrec"
 )
@@ -118,5 +121,71 @@ func TestRecordAndReplayAreExclusive(t *testing.T) {
 	err := run([]string{"-record-out", "a.ndjson", "-replay-check", "b.ndjson"}, &out)
 	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestFaultFlags: -fault-rate wires the injector and prints outcome
+// counters; a bad -protect is a usage error before any file is created.
+func TestFaultFlags(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-bench", "sgemm", "-scale", "0.1", "-sms", "1",
+		"-fault-rate", "2e-11", "-fault-seed", "7", "-protect", "secded",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "faults[") {
+		t.Errorf("no fault counters printed:\n%s", out.String())
+	}
+	if err := run([]string{"-protect", "chipkill"}, &out); err == nil {
+		t.Error("unknown -protect accepted")
+	}
+	if err := run([]string{"-fault-rate", "-2"}, &out); err == nil {
+		t.Error("negative -fault-rate accepted")
+	}
+}
+
+// TestInterruptFlushesAndExits3 drives the built binary: SIGINT during
+// the benchmark sweep must stop at the next benchmark boundary, still
+// flush the requested outputs, and exit with the distinct code 3.
+func TestInterruptFlushesAndExits3(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal delivery")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pilotsim")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building pilotsim: %v\n%s", err, out)
+	}
+
+	metrics := filepath.Join(dir, "metrics.csv")
+	// Scale 0.5 runs every benchmark for several seconds; the signal
+	// lands long before the sweep can finish.
+	cmd := exec.Command(bin, "-scale", "0.5", "-sms", "1", "-metrics-out", metrics)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	if code := cmd.ProcessState.ExitCode(); code != 3 {
+		t.Fatalf("exit code = %d (err %v), want 3\nstdout:\n%s\nstderr:\n%s",
+			code, err, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("stderr missing interrupt notice:\n%s", stderr.String())
+	}
+	st, statErr := os.Stat(metrics)
+	if statErr != nil {
+		t.Fatalf("metrics CSV not flushed: %v", statErr)
+	}
+	if st.Size() == 0 {
+		t.Error("metrics CSV flushed empty")
 	}
 }

@@ -1,0 +1,116 @@
+package pilotrf
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFaultFacadeDisabledMatchesBaseline: constructing the simulator
+// without EnableFaultInjection must behave exactly like the pre-fault
+// facade — zero fault counters, no error.
+func TestFaultFacadeDisabledMatchesBaseline(t *testing.T) {
+	s := smallSim(t, 1)
+	res, err := s.RunBenchmark("sgemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft := res.Stats.FaultTotals(); ft != (FaultStats{}) {
+		t.Fatalf("fault counters nonzero without injection: %+v", ft)
+	}
+}
+
+// TestFaultFacadeSECDEDSurvives: with full SECDED, an accelerated-rate
+// campaign corrects every strike — the run completes and reports
+// corrections but no silent reads and no abort.
+func TestFaultFacadeSECDEDSurvives(t *testing.T) {
+	s := smallSim(t, 1)
+	if err := s.EnableProtection(FullSECDED()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableFaultInjection(FaultConfig{Rate: 1e-9, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunBenchmark("sgemm")
+	if err != nil {
+		t.Fatalf("SECDED run aborted: %v", err)
+	}
+	ft := res.Stats.FaultTotals()
+	if ft.TotalInjected() == 0 {
+		t.Fatal("accelerated campaign injected nothing")
+	}
+	if ft.SilentReads != 0 || ft.Unrecoverable != 0 {
+		t.Fatalf("SECDED leaked faults: %+v", ft)
+	}
+}
+
+// TestFaultFacadeSDCProbe: an unprotected faulty run must diverge from
+// a fault-free golden run under the dataflow digest, and a fault-free
+// re-run must not.
+func TestFaultFacadeSDCProbe(t *testing.T) {
+	golden := smallSim(t, 1)
+	gp := golden.EnableSDCProbe()
+	if _, err := golden.RunBenchmark("sgemm"); err != nil {
+		t.Fatal(err)
+	}
+
+	clean := smallSim(t, 1)
+	cp := clean.EnableSDCProbe()
+	if _, err := clean.RunBenchmark("sgemm"); err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Equal(gp) {
+		t.Fatal("fault-free re-run diverged from golden")
+	}
+
+	faulty := smallSim(t, 1)
+	fp := faulty.EnableSDCProbe()
+	if err := faulty.EnableFaultInjection(FaultConfig{Rate: 1e-9, Seed: 19}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := faulty.RunBenchmark("sgemm")
+	if err != nil {
+		t.Fatalf("unprotected run errored instead of corrupting: %v", err)
+	}
+	if res.Stats.FaultTotals().SilentReads == 0 {
+		t.Fatal("no silent reads; pick a hotter seed")
+	}
+	if _, diverged := fp.Diverged(gp); !diverged {
+		t.Fatal("silent corruption not visible in the dataflow digest")
+	}
+}
+
+// TestFaultFacadeUnrecoverableSurfaces: parity detects but cannot
+// correct a stuck-at cell; retry exhaustion must surface as a typed
+// *UnrecoverableFault through the facade.
+func TestFaultFacadeUnrecoverableSurfaces(t *testing.T) {
+	s := smallSim(t, 1)
+	if err := s.EnableProtection(FullParity()); err != nil {
+		t.Fatal(err)
+	}
+	err := s.EnableFaultInjection(FaultConfig{
+		Rate: 2e-9, Seed: 17, StuckAtFrac: 1, ReadPathFrac: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.RunBenchmark("sgemm")
+	var ue *UnrecoverableFault
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want *UnrecoverableFault", err)
+	}
+	if ue.Retries == 0 || !ue.Kind.StuckAt() {
+		t.Fatalf("abort detail not populated: %+v", ue)
+	}
+}
+
+// TestFaultFacadeValidation: bad configs are rejected at Enable time,
+// before any run.
+func TestFaultFacadeValidation(t *testing.T) {
+	s := smallSim(t, 1)
+	if err := s.EnableFaultInjection(FaultConfig{Rate: -1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := s.EnableProtection(ProtectionScheme{Protection(99)}); err == nil {
+		t.Error("bogus protection code accepted")
+	}
+}

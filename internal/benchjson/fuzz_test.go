@@ -1,0 +1,87 @@
+package benchjson
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hammers the JSON report reader: no panic on any input, and
+// any accepted report must carry the schema tag and survive a
+// write/read round trip unchanged.
+func FuzzRead(f *testing.F) {
+	// The committed scorecard snapshots are the richest real corpora.
+	for _, p := range []string{"../../BENCH_PR2.json", "../../BENCH_PR3.json"} {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(data)
+		}
+	}
+	var buf bytes.Buffer
+	if err := NewReport("go test -bench=.", []Benchmark{
+		{Name: "BenchmarkSeed", Procs: 8, Iterations: 1, NsPerOp: 123.4,
+			Metrics: map[string]float64{"saving-pct(paper:54)": 53.7}},
+	}).Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"schema":"pilotrf-bench/v1","command":"x","benchmarks":[]}`))
+	f.Add([]byte(`{"schema":"wrong/v0"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rep.Schema != Schema {
+			t.Fatalf("accepted report with schema %q", rep.Schema)
+		}
+		var out bytes.Buffer
+		if err := rep.Write(&out); err != nil {
+			t.Fatalf("re-serializing an accepted report: %v", err)
+		}
+		rep2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("round-trip of an accepted report failed: %v", err)
+		}
+		if !reflect.DeepEqual(rep, rep2) {
+			t.Fatalf("round-trip drift:\n%+v\n%+v", rep, rep2)
+		}
+	})
+}
+
+// FuzzParse hammers the `go test -bench` text parser: no panic, and
+// every line it accepts must carry a positive iteration count and
+// re-parse identically (the parser is deterministic on its own output
+// interpretation).
+func FuzzParse(f *testing.F) {
+	f.Add("BenchmarkFigure11_DynamicEnergy-8   1   123456 ns/op   53.7 saving-pct(paper:54)\n")
+	f.Add("goos: linux\ngoarch: amd64\nBenchmarkX 10 5 ns/op\nPASS\nok  pilotrf 1.2s\n")
+	f.Add("BenchmarkNoIters\n")
+	f.Add("Benchmark-0 5\n")
+	f.Add("BenchmarkHuge 9223372036854775807 1e308 ns/op\n")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		benches, err := Parse(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, b := range benches {
+			if b.Name == "" || !strings.HasPrefix(b.Name, "Benchmark") {
+				t.Fatalf("accepted benchmark with name %q", b.Name)
+			}
+			if b.Procs <= 0 {
+				t.Fatalf("accepted benchmark with procs %d", b.Procs)
+			}
+		}
+		// Parsing the same input twice must agree exactly.
+		again, err := Parse(strings.NewReader(data))
+		if err != nil || !reflect.DeepEqual(benches, again) {
+			t.Fatalf("reparse drift (err %v)", err)
+		}
+	})
+}

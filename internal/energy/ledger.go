@@ -91,6 +91,15 @@ type Ledger struct {
 	kernelCycles []int64
 	epochs       []EpochCharge
 	heat         []HeatCell
+
+	// Protection overhead accounting (SetProtection): protected marks
+	// partitions carrying an error-detection code, overheadPerAccess its
+	// per-access check-bit energy, and overhead the integer count of
+	// accesses that paid it. Counts stay integers until the single final
+	// pricing, matching the conservation discipline of the main buckets.
+	protected         [4]bool
+	overheadPerAccess [4]float64
+	overhead          [4]uint64
 }
 
 // EpochSchema tags the per-epoch energy CSV (WriteEpochCSV).
@@ -126,6 +135,62 @@ func (l *Ledger) PerAccessPJ() [4]float64 { return l.perAccess }
 
 // LeakageMW returns the design's total RF leakage power.
 func (l *Ledger) LeakageMW() float64 { return l.leakMW }
+
+// SetProtection declares which partitions carry an error-protection
+// code and what each protected access costs on top of its data access
+// (fault.OverheadTable supplies the pricing). Subsequent AddOverhead
+// charges accumulate against this table, and CheckConservation demands
+// one overhead charge per access on every protected partition.
+func (l *Ledger) SetProtection(protected [4]bool, overheadPerAccess [4]float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.protected = protected
+	l.overheadPerAccess = overheadPerAccess
+}
+
+// ProtectedMask returns which partitions carry protection.
+func (l *Ledger) ProtectedMask() [4]bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.protected
+}
+
+// OverheadPerAccessPJ returns the per-access protection pricing table.
+func (l *Ledger) OverheadPerAccessPJ() [4]float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overheadPerAccess
+}
+
+// AddOverhead charges protection-overhead accesses per partition (one
+// per protected access; an SM folds these in at kernel drain).
+func (l *Ledger) AddOverhead(counts [4]uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for p, n := range counts {
+		l.overhead[p] += n
+	}
+}
+
+// OverheadTotals returns the accumulated overhead access counts.
+func (l *Ledger) OverheadTotals() [4]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.overhead
+}
+
+// OverheadPJ prices the protection overhead: check-bit read/write energy
+// summed in partition order, the same single-final-conversion discipline
+// as DynamicPJ.
+func (l *Ledger) OverheadPJ() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var pj float64
+	for p, n := range l.overhead {
+		pj += float64(n) * l.overheadPerAccess[p]
+	}
+	return pj
+}
 
 // BeginKernel advances and returns the kernel sequence number stamped
 // into subsequent charges.
@@ -281,6 +346,20 @@ func (l *Ledger) CheckConservation(parts [4]uint64, cycles int64) error {
 	}
 	if got, want := l.LeakagePJ(), LeakagePJ(l.design, cycles); got != want {
 		return fmt.Errorf("energy: ledger leakage %v pJ != aggregate %v pJ", got, want)
+	}
+	// Protection conservation: every access to a protected partition pays
+	// exactly one overhead charge; unprotected partitions pay none.
+	overhead := l.OverheadTotals()
+	protected := l.ProtectedMask()
+	for p := range overhead {
+		want := uint64(0)
+		if protected[p] {
+			want = parts[p]
+		}
+		if overhead[p] != want {
+			return fmt.Errorf("energy: %s protection overhead %d charges != %d accesses (protected=%v)",
+				regfile.Partition(p), overhead[p], want, protected[p])
+		}
 	}
 	return nil
 }

@@ -1,0 +1,346 @@
+// Package fault is the simulator's soft-error and resilience model: a
+// deterministic, seedable fault-injection engine for the register file
+// partitions and the swap-table CAM, the protection schemes the paper's
+// operating points call for (SECDED ECC on the near-threshold SRF,
+// parity + re-issue retry on the super-threshold FRF), and the
+// bookkeeping that classifies each injected fault's outcome.
+//
+// The motivation is the paper's own design point: the 224 KB SRF runs at
+// 0.3 V near-threshold, precisely where the critical charge Qcrit of an
+// SRAM cell drops and the raw soft-error rate rises sharply. The engine
+// therefore scales each partition's raw fault rate by its operating
+// voltage (NTV arrays are far more vulnerable than STV arrays), and the
+// adaptive FRF's back-gated low-power mode raises the FRF's vulnerability
+// while it is engaged.
+//
+// Protection is priced, not free: every access to a protected partition
+// pays a check-bit overhead proportional to the code's redundancy
+// (SECDED(39,32) adds 7 check bits per 32-bit word, parity adds 1), which
+// flows through the energy.Ledger so protected-vs-unprotected energy is
+// directly comparable.
+package fault
+
+import (
+	"fmt"
+
+	"pilotrf/internal/energy"
+	"pilotrf/internal/isa"
+	"pilotrf/internal/regfile"
+)
+
+// Protection selects the error-detection/correction code on one RF
+// partition's storage words.
+type Protection uint8
+
+// Protection levels.
+const (
+	// ProtectNone leaves the partition unprotected: faults are silent
+	// until (and unless) the corrupted value is consumed.
+	ProtectNone Protection = iota
+	// ProtectParity adds one parity bit per 32-bit word: single-bit
+	// errors are detected on read but not correctable; the pipeline
+	// recovers by re-issuing the consuming instruction (which helps only
+	// for read-path transients — a corrupted cell stays corrupted).
+	ProtectParity
+	// ProtectSECDED adds a SECDED(39,32) code per 32-bit word: single-bit
+	// errors are corrected in place on read, silently to the pipeline.
+	ProtectSECDED
+)
+
+// String returns the protection name.
+func (p Protection) String() string {
+	switch p {
+	case ProtectNone:
+		return "none"
+	case ProtectParity:
+		return "parity"
+	case ProtectSECDED:
+		return "secded"
+	default:
+		return fmt.Sprintf("PROTECT_%d", uint8(p))
+	}
+}
+
+// ParseProtection resolves a protection name.
+func ParseProtection(s string) (Protection, error) {
+	switch s {
+	case "none":
+		return ProtectNone, nil
+	case "parity":
+		return ProtectParity, nil
+	case "secded", "ecc":
+		return ProtectSECDED, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown protection %q (none | parity | secded)", s)
+	}
+}
+
+// dataBits is the protected word size: RF storage is organized as 32-bit
+// per-lane words, and both codes considered protect each word separately.
+const dataBits = 32
+
+// CheckBits returns the number of check bits the code adds per 32-bit
+// data word (0, 1, or 7).
+func (p Protection) CheckBits() int {
+	switch p {
+	case ProtectParity:
+		return 1
+	case ProtectSECDED:
+		return 7
+	default:
+		return 0
+	}
+}
+
+// Scheme assigns a protection level to each physical partition, indexed
+// by regfile.Partition. The FRF's two power modes share one array and
+// therefore one code; constructors keep the two FRF entries equal.
+type Scheme [4]Protection
+
+// Unprotected returns the baseline scheme: no protection anywhere.
+func Unprotected() Scheme { return Scheme{} }
+
+// FullParity protects every partition with parity + re-issue retry.
+func FullParity() Scheme {
+	return Scheme{ProtectParity, ProtectParity, ProtectParity, ProtectParity}
+}
+
+// FullSECDED protects every partition with SECDED ECC.
+func FullSECDED() Scheme {
+	return Scheme{ProtectSECDED, ProtectSECDED, ProtectSECDED, ProtectSECDED}
+}
+
+// PaperScheme matches protection strength to operating point: the
+// near-threshold arrays (the SRF, and the MRF when the monolithic design
+// runs it at NTV) carry SECDED, while the super-threshold FRF gets away
+// with cheap parity + re-issue retry.
+func PaperScheme() Scheme {
+	return Scheme{
+		regfile.PartMRF:     ProtectSECDED,
+		regfile.PartFRFHigh: ProtectParity,
+		regfile.PartFRFLow:  ProtectParity,
+		regfile.PartSRF:     ProtectSECDED,
+	}
+}
+
+// ParseScheme resolves a named scheme.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "none", "unprotected":
+		return Unprotected(), nil
+	case "parity":
+		return FullParity(), nil
+	case "secded", "ecc":
+		return FullSECDED(), nil
+	case "paper":
+		return PaperScheme(), nil
+	default:
+		return Scheme{}, fmt.Errorf("fault: unknown protection scheme %q (none | parity | secded | paper)", s)
+	}
+}
+
+// String names the scheme (the named points, or the per-partition list).
+func (s Scheme) String() string {
+	switch s {
+	case Unprotected():
+		return "none"
+	case FullParity():
+		return "parity"
+	case FullSECDED():
+		return "secded"
+	case PaperScheme():
+		return "paper"
+	}
+	return fmt.Sprintf("mrf=%s,frf=%s,srf=%s",
+		s[regfile.PartMRF], s[regfile.PartFRFHigh], s[regfile.PartSRF])
+}
+
+// Any reports whether any partition is protected.
+func (s Scheme) Any() bool { return s != Scheme{} }
+
+// Mask returns which partitions carry protection, indexed by
+// regfile.Partition — the shape the energy ledger's overhead accounting
+// consumes.
+func (s Scheme) Mask() [4]bool {
+	var m [4]bool
+	for p, prot := range s {
+		m[p] = prot != ProtectNone
+	}
+	return m
+}
+
+// Validate rejects schemes that protect the FRF's two power modes
+// differently: they are one physical array.
+func (s Scheme) Validate() error {
+	for p, code := range s {
+		if code > ProtectSECDED {
+			return fmt.Errorf("fault: unknown protection code %d for partition %s",
+				code, regfile.Partition(p))
+		}
+	}
+	if s[regfile.PartFRFHigh] != s[regfile.PartFRFLow] {
+		return fmt.Errorf("fault: FRF power modes share one array but scheme protects them differently (%s vs %s)",
+			s[regfile.PartFRFHigh], s[regfile.PartFRFLow])
+	}
+	return nil
+}
+
+// OverheadTable prices the scheme's per-access check-bit overhead for a
+// design, indexed by regfile.Partition: each access to a protected
+// partition reads or writes checkBits/32 extra bits alongside the data
+// word, so the overhead energy is that same fraction of the partition's
+// per-access energy. Integer access counts priced through this table and
+// summed in partition order are bit-exact, matching the ledger's
+// conservation discipline.
+func OverheadTable(d regfile.Design, s Scheme) [4]float64 {
+	base := energy.PerAccessTable(d)
+	var out [4]float64
+	for p := range out {
+		out[p] = base[p] * float64(s[p].CheckBits()) / dataBits
+	}
+	return out
+}
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// KindTransient is a single-event upset: one storage cell's bit flips
+	// and stays flipped until overwritten (or corrected by ECC).
+	KindTransient Kind = iota
+	// KindReadPath is a transient on the read path (sense amp, bitline):
+	// the stored value is intact, but one consumption observes a flipped
+	// bit. A re-issued read succeeds.
+	KindReadPath
+	// KindStuckAt0 pins one cell bit to 0: every write re-acquires the
+	// fault (a hard/intermittent fault at NTV voltage margins).
+	KindStuckAt0
+	// KindStuckAt1 pins one cell bit to 1.
+	KindStuckAt1
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindTransient:
+		return "transient"
+	case KindReadPath:
+		return "read-path"
+	case KindStuckAt0:
+		return "stuck-at-0"
+	case KindStuckAt1:
+		return "stuck-at-1"
+	default:
+		return fmt.Sprintf("KIND_%d", uint8(k))
+	}
+}
+
+// StuckAt reports whether the kind is a persistent stuck-at fault.
+func (k Kind) StuckAt() bool { return k == KindStuckAt0 || k == KindStuckAt1 }
+
+// CellFault is one pending injected fault on a register cell, tracked by
+// the SM until it is corrected, overwritten, consumed, or escalated.
+type CellFault struct {
+	// Warp is the SM-local warp slot owning the register.
+	Warp int
+	// Reg is the architected register.
+	Reg isa.Reg
+	// Lane is the thread lane whose 32-bit word is faulty.
+	Lane int
+	// Bit is the flipped/pinned bit within the word.
+	Bit uint8
+	// Kind classifies the fault.
+	Kind Kind
+	// Part is the physical partition the register lived in at injection
+	// time — the protection domain that detects (or misses) the fault.
+	Part regfile.Partition
+	// Cycle is the injection cycle.
+	Cycle int64
+	// Retries counts re-issue attempts consumed by this fault.
+	Retries int
+}
+
+// UnrecoverableError is the structured kernel-abort error raised when a
+// detected-but-uncorrectable fault exhausts its re-issue retries. It is
+// graceful degradation's last stop: the simulation stops with this error
+// instead of panicking or silently corrupting results.
+type UnrecoverableError struct {
+	Cycle   int64
+	SM      int
+	Warp    int
+	Reg     isa.Reg
+	Part    regfile.Partition
+	Kind    Kind
+	Retries int
+}
+
+// Error implements error.
+func (e *UnrecoverableError) Error() string {
+	return fmt.Sprintf("fault: uncorrectable %s error on SM %d warp %d %s (%s) persisted through %d retries at cycle %d",
+		e.Kind, e.SM, e.Warp, e.Reg, e.Part, e.Retries, e.Cycle)
+}
+
+// Stats counts fault-injection activity on one SM (or, via Add, a run).
+type Stats struct {
+	// Fires counts countdown expiries (before thinning).
+	Fires uint64
+	// Thinned counts fires rejected by the rate-thinning step (the FRF
+	// was in its less-vulnerable high-power mode at fire time).
+	Thinned uint64
+	// NoVictim counts fires that found no allocated cell to corrupt
+	// (an upset in an unallocated row: architecturally invisible).
+	NoVictim uint64
+	// Injected counts applied faults by target (indexed by Target).
+	Injected [NumTargets]uint64
+	// Corrected counts SECDED in-place corrections.
+	Corrected uint64
+	// DetectedRetry counts parity/ECC detections that scheduled a
+	// warp-level re-issue.
+	DetectedRetry uint64
+	// RetrySuccess counts re-issues that read clean data (read-path
+	// transients cleared by the retry).
+	RetrySuccess uint64
+	// Unrecoverable counts faults that exhausted their retries and
+	// aborted the kernel.
+	Unrecoverable uint64
+	// OverwriteCleared counts faulty cells healed by a register write
+	// before any read observed them.
+	OverwriteCleared uint64
+	// SilentReads counts consumptions of corrupted values in unprotected
+	// partitions — the raw material of silent data corruption.
+	SilentReads uint64
+	// CAMRepaired counts swap-table CAM upsets detected and repaired by
+	// the protected mapping (entry scrubbed, placement preserved).
+	CAMRepaired uint64
+	// CAMCorrupted counts swap-table CAM upsets applied to an
+	// unprotected mapping (placement semantics silently change).
+	CAMCorrupted uint64
+}
+
+// Add folds another Stats into s.
+func (s *Stats) Add(o Stats) {
+	s.Fires += o.Fires
+	s.Thinned += o.Thinned
+	s.NoVictim += o.NoVictim
+	for i := range s.Injected {
+		s.Injected[i] += o.Injected[i]
+	}
+	s.Corrected += o.Corrected
+	s.DetectedRetry += o.DetectedRetry
+	s.RetrySuccess += o.RetrySuccess
+	s.Unrecoverable += o.Unrecoverable
+	s.OverwriteCleared += o.OverwriteCleared
+	s.SilentReads += o.SilentReads
+	s.CAMRepaired += o.CAMRepaired
+	s.CAMCorrupted += o.CAMCorrupted
+}
+
+// TotalInjected sums applied faults across targets.
+func (s *Stats) TotalInjected() uint64 {
+	var n uint64
+	for _, v := range s.Injected {
+		n += v
+	}
+	return n
+}

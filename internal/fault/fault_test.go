@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/energy"
+	"pilotrf/internal/isa"
+	"pilotrf/internal/regfile"
+)
+
+func TestProtectionParseRoundTrip(t *testing.T) {
+	for _, p := range []Protection{ProtectNone, ProtectParity, ProtectSECDED} {
+		got, err := ParseProtection(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtection(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if p, err := ParseProtection("ecc"); err != nil || p != ProtectSECDED {
+		t.Errorf("ecc alias = %v, %v", p, err)
+	}
+	if _, err := ParseProtection("hamming"); err == nil {
+		t.Error("unknown protection accepted")
+	}
+}
+
+func TestCheckBits(t *testing.T) {
+	if got := ProtectNone.CheckBits(); got != 0 {
+		t.Errorf("none check bits = %d", got)
+	}
+	if got := ProtectParity.CheckBits(); got != 1 {
+		t.Errorf("parity check bits = %d", got)
+	}
+	if got := ProtectSECDED.CheckBits(); got != 7 {
+		t.Errorf("secded check bits = %d, want 7 for SECDED(39,32)", got)
+	}
+}
+
+func TestSchemeParse(t *testing.T) {
+	cases := map[string]Scheme{
+		"none":        Unprotected(),
+		"unprotected": Unprotected(),
+		"parity":      FullParity(),
+		"secded":      FullSECDED(),
+		"ecc":         FullSECDED(),
+		"paper":       PaperScheme(),
+	}
+	for name, want := range cases {
+		got, err := ParseScheme(name)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseScheme("chipkill"); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeValidateRejectsSplitFRF(t *testing.T) {
+	s := Scheme{regfile.PartFRFHigh: ProtectParity}
+	if err := s.Validate(); err == nil {
+		t.Error("scheme protecting only one FRF power mode accepted: the two modes share one array")
+	}
+	for _, s := range []Scheme{Unprotected(), FullParity(), FullSECDED(), PaperScheme()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v.Validate() = %v", s, err)
+		}
+	}
+}
+
+func TestSchemeAnyAndMask(t *testing.T) {
+	if Unprotected().Any() {
+		t.Error("unprotected scheme claims protection")
+	}
+	if !PaperScheme().Any() {
+		t.Error("paper scheme claims no protection")
+	}
+	mask := PaperScheme().Mask()
+	for p := 0; p < 4; p++ {
+		if mask[p] != (PaperScheme()[p] != ProtectNone) {
+			t.Errorf("mask[%d] = %v inconsistent with scheme", p, mask[p])
+		}
+	}
+}
+
+// The overhead per access must be the partition's data-access energy
+// scaled by the code's relative redundancy: check bits over 32.
+func TestOverheadTablePricing(t *testing.T) {
+	for _, d := range []regfile.Design{
+		regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV,
+		regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive,
+	} {
+		base := energy.PerAccessTable(d)
+		for _, s := range []Scheme{Unprotected(), FullParity(), FullSECDED(), PaperScheme()} {
+			tab := OverheadTable(d, s)
+			for p := 0; p < 4; p++ {
+				want := base[p] * float64(s[p].CheckBits()) / 32
+				if tab[p] != want {
+					t.Errorf("%v/%v overhead[%d] = %v, want %v", d, s, p, tab[p], want)
+				}
+			}
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindTransient: "transient",
+		KindReadPath:  "read-path",
+		KindStuckAt0:  "stuck-at-0",
+		KindStuckAt1:  "stuck-at-1",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if KindTransient.StuckAt() || KindReadPath.StuckAt() {
+		t.Error("non-stuck-at kind reports stuck-at")
+	}
+	if !KindStuckAt0.StuckAt() || !KindStuckAt1.StuckAt() {
+		t.Error("stuck-at kind not reported")
+	}
+}
+
+func TestStatsAddAndTotal(t *testing.T) {
+	a := Stats{Fires: 3, Corrected: 2}
+	a.Injected[TargetSRF] = 5
+	b := Stats{Fires: 1, SilentReads: 7}
+	b.Injected[TargetSRF] = 2
+	b.Injected[TargetCAM] = 1
+	a.Add(b)
+	if a.Fires != 4 || a.Corrected != 2 || a.SilentReads != 7 {
+		t.Errorf("Add merged wrong: %+v", a)
+	}
+	if got := a.TotalInjected(); got != 8 {
+		t.Errorf("TotalInjected = %d, want 8", got)
+	}
+}
+
+func TestUnrecoverableError(t *testing.T) {
+	err := error(&UnrecoverableError{
+		Cycle: 42, SM: 1, Warp: 3, Reg: isa.R(5),
+		Part: regfile.PartSRF, Kind: KindStuckAt1, Retries: 4,
+	})
+	var ue *UnrecoverableError
+	if !errors.As(err, &ue) || ue.Cycle != 42 {
+		t.Fatal("errors.As failed to recover the structured error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"stuck-at-1", "R5", "SRF"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}

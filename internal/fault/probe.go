@@ -1,0 +1,97 @@
+package fault
+
+import "pilotrf/internal/flightrec"
+
+// probeChecksumEvery pushes periodic checksums effectively off the end
+// of any run: the probe only needs the end-of-kernel read hashes, which
+// the simulator emits unconditionally at kernel drain.
+const probeChecksumEvery = int64(1) << 40
+
+// KernelDigest condenses one kernel's dataflow into a comparable value:
+// the commutative read hash summed across SMs plus the total operand
+// read count. Because the underlying hash is order-invariant and keyed
+// on CTA-relative identity (not SM placement), two runs of the same
+// kernel agree on the digest exactly when every executed instruction
+// consumed the same register values — timing differences (retry stalls,
+// different CTA→SM assignment) do not disturb it.
+type KernelDigest struct {
+	Hash  uint64
+	Reads uint64
+}
+
+// DigestProbe is a flightrec.Sink that distills a run into per-kernel
+// dataflow digests. Fault campaigns record a fault-free golden run and a
+// faulty run through two probes; a digest mismatch on any kernel is
+// silent data corruption, digest equality means the fault was masked
+// (or fully corrected).
+type DigestProbe struct {
+	kernel int
+	last   map[probeKey]KernelDigest
+}
+
+type probeKey struct {
+	kernel int
+	sm     int
+}
+
+// NewDigestProbe returns an empty probe.
+func NewDigestProbe() *DigestProbe {
+	return &DigestProbe{kernel: -1, last: make(map[probeKey]KernelDigest)}
+}
+
+// Record implements flightrec.Sink, keeping only the latest read hash
+// per (kernel, SM).
+func (p *DigestProbe) Record(e flightrec.Event) {
+	switch e.Kind {
+	case flightrec.KindKernelBegin:
+		p.kernel++
+	case flightrec.KindReadHash:
+		p.last[probeKey{kernel: p.kernel, sm: e.SM}] = KernelDigest{Hash: e.A, Reads: e.B}
+	}
+}
+
+// ChecksumEvery implements flightrec.Sink.
+func (p *DigestProbe) ChecksumEvery() int64 { return probeChecksumEvery }
+
+// Kernels returns how many kernels the probe observed.
+func (p *DigestProbe) Kernels() int { return p.kernel + 1 }
+
+// Digest folds the per-SM read hashes of one kernel into its
+// KernelDigest. Wrapping addition keeps the fold commutative, so the
+// digest is independent of which SM executed which CTA.
+func (p *DigestProbe) Digest(kernel int) KernelDigest {
+	var d KernelDigest
+	for k, v := range p.last {
+		if k.kernel == kernel {
+			d.Hash += v.Hash
+			d.Reads += v.Reads
+		}
+	}
+	return d
+}
+
+// Diverged reports the first kernel whose digest differs between the
+// two probes, or (-1, false) when every kernel agrees. A kernel-count
+// mismatch (the faulty run aborted early) counts as divergence at the
+// first missing kernel.
+func (p *DigestProbe) Diverged(golden *DigestProbe) (int, bool) {
+	n := p.Kernels()
+	if g := golden.Kernels(); g > n {
+		n = g
+	}
+	for k := 0; k < n; k++ {
+		if p.Digest(k) != golden.Digest(k) {
+			return k, true
+		}
+	}
+	if p.Kernels() != golden.Kernels() {
+		return n, true
+	}
+	return -1, false
+}
+
+// Equal reports whether both probes observed identical dataflow.
+func (p *DigestProbe) Equal(golden *DigestProbe) bool {
+	_, div := p.Diverged(golden)
+	return !div
+}

@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"testing"
+
+	"pilotrf/internal/flightrec"
+)
+
+// feed replays a sequence of (kernel-begin | read-hash) events into a
+// fresh probe. Each entry is one kernel: per-SM (hash, reads) pairs.
+func feed(kernels [][][2]uint64) *DigestProbe {
+	p := NewDigestProbe()
+	for _, sms := range kernels {
+		p.Record(flightrec.Event{Kind: flightrec.KindKernelBegin, SM: -1})
+		for sm, hr := range sms {
+			// Interleave a stale partial emission first: the probe must
+			// keep only the last emission per (kernel, SM).
+			p.Record(flightrec.Event{Kind: flightrec.KindReadHash, SM: sm, A: hr[0] / 2, B: hr[1] / 2})
+			p.Record(flightrec.Event{Kind: flightrec.KindReadHash, SM: sm, A: hr[0], B: hr[1]})
+		}
+	}
+	return p
+}
+
+func TestDigestSumsAcrossSMs(t *testing.T) {
+	p := feed([][][2]uint64{{{10, 1}, {32, 4}}})
+	if got := p.Kernels(); got != 1 {
+		t.Fatalf("Kernels = %d", got)
+	}
+	d := p.Digest(0)
+	if d.Hash != 42 || d.Reads != 5 {
+		t.Errorf("Digest(0) = %+v, want {42 5}", d)
+	}
+}
+
+func TestEqualAndDiverged(t *testing.T) {
+	golden := feed([][][2]uint64{{{10, 1}}, {{20, 2}}})
+	same := feed([][][2]uint64{{{10, 1}}, {{20, 2}}})
+	if !same.Equal(golden) {
+		t.Error("identical streams report divergence")
+	}
+	if _, div := same.Diverged(golden); div {
+		t.Error("Diverged on equal streams")
+	}
+
+	// The commutative digest makes SM attribution irrelevant: the same
+	// totals split differently across SMs must still compare equal.
+	resplit := feed([][][2]uint64{{{4, 1}, {6, 0}}, {{20, 2}}})
+	if !resplit.Equal(golden) {
+		t.Error("same totals across different SM splits report divergence")
+	}
+
+	bad := feed([][][2]uint64{{{10, 1}}, {{21, 2}}})
+	k, div := bad.Diverged(golden)
+	if !div || k != 1 {
+		t.Errorf("Diverged = (%d, %v), want (1, true)", k, div)
+	}
+}
+
+func TestKernelCountMismatchDiverges(t *testing.T) {
+	golden := feed([][][2]uint64{{{10, 1}}, {{20, 2}}})
+	short := feed([][][2]uint64{{{10, 1}}})
+	if k, div := short.Diverged(golden); !div || k != 1 {
+		t.Errorf("missing kernel: Diverged = (%d, %v), want (1, true)", k, div)
+	}
+}
+
+func TestProbeImplementsSink(t *testing.T) {
+	var _ flightrec.Sink = NewDigestProbe()
+	if NewDigestProbe().ChecksumEvery() <= 0 {
+		t.Error("probe checksum interval must be positive")
+	}
+}

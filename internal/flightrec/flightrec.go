@@ -29,7 +29,7 @@ import (
 
 // Schema is the versioned tag stamped into every recording header; a
 // reader rejects logs whose schema it does not understand.
-const Schema = "pilotrf-flightrec/v1"
+const Schema = "pilotrf-flightrec/v2"
 
 // DefaultChecksumEvery is the default interval, in SM cycles, between
 // periodic architectural-state checksums.
@@ -71,6 +71,16 @@ const (
 	// hash: per-warp PC stacks, predicates, scoreboards, swap mapping,
 	// FRF power mode).
 	KindChecksum
+	// KindReadHash is an order-invariant digest of every register value
+	// consumed by executed instructions so far (A = commutative FNV-mix
+	// sum over (CTA, warp, sequence, register, lane, value) tuples,
+	// B = operand-read count). Unlike KindChecksum, which hashes state in
+	// warp-slot order, this digest is invariant to warp interleaving and
+	// CTA placement, so two runs whose timing differs but whose dataflow
+	// agrees produce equal read hashes — the discriminator fault
+	// campaigns use to separate silent data corruption from masked
+	// faults.
+	KindReadHash
 
 	numKinds
 )
@@ -79,6 +89,7 @@ const (
 var kindNames = [numKinds]string{
 	"kernel-begin", "kernel-end", "cta-launch", "issue", "route",
 	"swap-install", "mode-flip", "barrier-release", "warp-retire", "checksum",
+	"read-hash",
 }
 
 // String returns the kind's wire name.
@@ -115,6 +126,8 @@ func (k Kind) Subsystem() string {
 		return "warp-lifecycle"
 	case KindChecksum:
 		return "architectural-state"
+	case KindReadHash:
+		return "dataflow"
 	case KindKernelBegin, KindKernelEnd:
 		return "kernel-lifecycle"
 	default:

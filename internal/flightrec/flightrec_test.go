@@ -79,8 +79,8 @@ func TestReadNDJSONErrors(t *testing.T) {
 		{"empty", "", "empty recording"},
 		{"bad header json", "{not json\n", "bad header"},
 		{"wrong schema", `{"schema":"other/v9"}` + "\n", "schema"},
-		{"bad event json", `{"schema":"pilotrf-flightrec/v1","seed":1}` + "\n{broken\n", "line 2"},
-		{"unknown kind", `{"schema":"pilotrf-flightrec/v1","seed":1}` + "\n" + `{"c":1,"k":"bogus"}` + "\n", "unknown event kind"},
+		{"bad event json", `{"schema":"pilotrf-flightrec/v2","seed":1}` + "\n{broken\n", "line 2"},
+		{"unknown kind", `{"schema":"pilotrf-flightrec/v2","seed":1}` + "\n" + `{"c":1,"k":"bogus"}` + "\n", "unknown event kind"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,74 @@
+package flightrec
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// seedRecording builds a small but representative recording covering
+// the header and several event kinds, serialized by the real writer.
+func seedRecording(t testing.TB) []byte {
+	t.Helper()
+	l := &Log{
+		Meta: Meta{
+			Schema: Schema, Label: "fuzz-seed", Seed: 7,
+			Design: "Partitioned+AdaptiveFRF", Profiling: "hybrid",
+			Policy: "gto", SMs: 2, ChecksumEvery: 64,
+		},
+		Events: []Event{
+			{Cycle: 0, SM: -1, Kind: KindKernelBegin, Warp: -1, PC: -1, A: 2, Detail: "seed"},
+			{Cycle: 3, SM: 0, Kind: KindIssue, Warp: 1, PC: 4, A: 9},
+			{Cycle: 64, SM: 0, Kind: KindChecksum, Warp: -1, PC: -1, A: 0xdeadbeef, B: 12},
+			{Cycle: 64, SM: 0, Kind: KindReadHash, Warp: -1, PC: -1, A: 0xfeedface, B: 34},
+			{Cycle: 70, SM: -1, Kind: KindKernelEnd, Warp: -1, PC: -1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := l.WriteNDJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadNDJSON hammers the recording reader with mutated inputs: it
+// must never panic, and anything it accepts must round-trip through the
+// writer byte-for-byte at the structural level (same meta, same events).
+func FuzzReadNDJSON(f *testing.F) {
+	f.Add(seedRecording(f))
+	f.Add([]byte(""))
+	f.Add([]byte("{\"schema\":\"" + Schema + "\"}\n"))
+	f.Add([]byte("{\"schema\":\"" + Schema + "\"}\n{\"c\":1,\"sm\":0,\"k\":3,\"w\":0,\"pc\":0}\n"))
+	f.Add([]byte("{\"schema\":\"bogus/v9\"}\n"))
+	f.Add([]byte("not json at all\n{}\n"))
+	f.Add([]byte("{\"schema\":\"" + Schema + "\"}\n\n\n{\"c\":-5,\"sm\":-1,\"k\":255,\"w\":-1,\"pc\":-1,\"a\":18446744073709551615}\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadNDJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if l.Meta.Schema != Schema {
+			t.Fatalf("accepted recording with schema %q", l.Meta.Schema)
+		}
+		var buf bytes.Buffer
+		if err := l.WriteNDJSON(&buf); err != nil {
+			t.Fatalf("re-serializing an accepted recording: %v", err)
+		}
+		l2, err := ReadNDJSON(&buf)
+		if err != nil {
+			t.Fatalf("round-trip of an accepted recording failed: %v", err)
+		}
+		if !reflect.DeepEqual(l.Meta, l2.Meta) {
+			t.Fatalf("meta round-trip drift:\n%+v\n%+v", l.Meta, l2.Meta)
+		}
+		if len(l.Events) != len(l2.Events) {
+			t.Fatalf("event count drift: %d -> %d", len(l.Events), len(l2.Events))
+		}
+		for i := range l.Events {
+			if l.Events[i] != l2.Events[i] {
+				t.Fatalf("event %d drift: %+v -> %+v", i, l.Events[i], l2.Events[i])
+			}
+		}
+	})
+}

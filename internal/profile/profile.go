@@ -167,9 +167,9 @@ type Controller struct {
 // NewController returns a controller managing the given mapper. For
 // TechniqueOracle the caller must provide the measured top registers via
 // SetOracle before the kernel launches.
-func NewController(tech Technique, topN, frfRegs int, mapper regfile.Mapper) *Controller {
+func NewController(tech Technique, topN, frfRegs int, mapper regfile.Mapper) (*Controller, error) {
 	if topN <= 0 || topN > frfRegs {
-		panic(fmt.Sprintf("profile: topN %d outside (0,%d]", topN, frfRegs))
+		return nil, fmt.Errorf("profile: topN %d outside (0,%d]", topN, frfRegs)
 	}
 	return &Controller{
 		Technique: tech,
@@ -177,7 +177,7 @@ func NewController(tech Technique, topN, frfRegs int, mapper regfile.Mapper) *Co
 		FRFRegs:   frfRegs,
 		mapper:    mapper,
 		counters:  NewCounters(),
-	}
+	}, nil
 }
 
 // SetOracle provides the true top registers for TechniqueOracle.

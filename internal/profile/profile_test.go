@@ -131,8 +131,15 @@ func TestCountersStartKernelPanics(t *testing.T) {
 
 func newController(t *testing.T, tech Technique) (*Controller, *regfile.SwapTable) {
 	t.Helper()
-	st := regfile.NewSwapTable(4)
-	return NewController(tech, 4, 4, st), st
+	st, err := regfile.NewSwapTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewController(tech, 4, 4, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st
 }
 
 func TestControllerCompilerSeedsAtLaunch(t *testing.T) {
@@ -276,17 +283,15 @@ func TestControllerRelaunchResets(t *testing.T) {
 	}
 }
 
-func TestNewControllerPanics(t *testing.T) {
-	st := regfile.NewSwapTable(4)
+func TestNewControllerErrors(t *testing.T) {
+	st, err := regfile.NewSwapTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, tc := range []struct{ topN, frf int }{{0, 4}, {5, 4}, {-1, 4}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("topN=%d frf=%d did not panic", tc.topN, tc.frf)
-				}
-			}()
-			NewController(TechniquePilot, tc.topN, tc.frf, st)
-		}()
+		if _, err := NewController(TechniquePilot, tc.topN, tc.frf, st); err == nil {
+			t.Errorf("topN=%d frf=%d did not error", tc.topN, tc.frf)
+		}
 	}
 }
 

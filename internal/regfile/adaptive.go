@@ -45,14 +45,14 @@ type AdaptiveFRF struct {
 }
 
 // NewAdaptiveFRF returns a controller starting in high-power mode.
-func NewAdaptiveFRF(cfg AdaptiveConfig) *AdaptiveFRF {
+func NewAdaptiveFRF(cfg AdaptiveConfig) (*AdaptiveFRF, error) {
 	if cfg.EpochCycles <= 0 {
-		panic(fmt.Sprintf("regfile: epoch of %d cycles", cfg.EpochCycles))
+		return nil, fmt.Errorf("regfile: adaptive epoch must be a positive cycle count, got %d", cfg.EpochCycles)
 	}
 	if cfg.Threshold < 0 || cfg.Threshold > cfg.EpochCycles*cfg.MaxIssuePerCycle {
-		panic(fmt.Sprintf("regfile: threshold %d outside [0,%d]", cfg.Threshold, cfg.EpochCycles*cfg.MaxIssuePerCycle))
+		return nil, fmt.Errorf("regfile: adaptive threshold %d outside [0,%d]", cfg.Threshold, cfg.EpochCycles*cfg.MaxIssuePerCycle)
 	}
-	return &AdaptiveFRF{cfg: cfg}
+	return &AdaptiveFRF{cfg: cfg}, nil
 }
 
 // OnIssue records n instructions issued this cycle.

@@ -7,7 +7,7 @@ import (
 )
 
 func BenchmarkSwapTableLookupHit(b *testing.B) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(b, 4)
 	st.Configure([]isa.Reg{isa.R(8), isa.R(9), isa.R(10), isa.R(11)}, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -16,7 +16,7 @@ func BenchmarkSwapTableLookupHit(b *testing.B) {
 }
 
 func BenchmarkSwapTableLookupMiss(b *testing.B) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(b, 4)
 	st.Configure([]isa.Reg{isa.R(8), isa.R(9), isa.R(10), isa.R(11)}, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -34,7 +34,7 @@ func BenchmarkIndexedLookup(b *testing.B) {
 }
 
 func BenchmarkRoutePartitioned(b *testing.B) {
-	f := New(DefaultConfig(DesignPartitionedAdaptive))
+	f := mustFile(b, DefaultConfig(DesignPartitionedAdaptive))
 	f.Mapper().Configure([]isa.Reg{isa.R(8), isa.R(9), isa.R(10), isa.R(11)}, 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -43,7 +43,7 @@ func BenchmarkRoutePartitioned(b *testing.B) {
 }
 
 func BenchmarkAdaptiveTick(b *testing.B) {
-	a := NewAdaptiveFRF(DefaultAdaptiveConfig())
+	a := mustAdaptive(b, DefaultAdaptiveConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.OnIssue(i % 9)

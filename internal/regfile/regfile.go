@@ -129,21 +129,25 @@ type File struct {
 
 // New returns a register file in the given configuration, using the
 // CAM-based swapping table.
-func New(cfg Config) *File {
+func New(cfg Config) (*File, error) {
 	if cfg.Banks <= 0 {
-		panic("regfile: no banks")
+		return nil, fmt.Errorf("regfile: bank count must be positive, got %d", cfg.Banks)
 	}
 	if cfg.FRFRegs <= 0 && (cfg.Design == DesignPartitioned || cfg.Design == DesignPartitionedAdaptive) {
-		panic("regfile: partitioned design with empty FRF")
+		return nil, fmt.Errorf("regfile: partitioned design needs a positive FRF size, got %d registers", cfg.FRFRegs)
 	}
-	f := &File{
-		cfg:    cfg,
-		mapper: NewSwapTable(maxInt(cfg.FRFRegs, 1)),
+	table, err := NewSwapTable(maxInt(cfg.FRFRegs, 1))
+	if err != nil {
+		return nil, err
 	}
+	f := &File{cfg: cfg, mapper: table}
 	if cfg.Design == DesignPartitionedAdaptive {
-		f.adaptive = NewAdaptiveFRF(cfg.Adaptive)
+		f.adaptive, err = NewAdaptiveFRF(cfg.Adaptive)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return f
+	return f, nil
 }
 
 // Config returns the file's configuration.
@@ -151,6 +155,27 @@ func (f *File) Config() Config { return f.cfg }
 
 // Mapper exposes the swapping table for profiling-driven reconfiguration.
 func (f *File) Mapper() Mapper { return f.mapper }
+
+// CAM returns the CAM swapping table when the file routes through one
+// (the construction New always does), or nil. Fault injection targets
+// the CAM's raw entries through this accessor.
+func (f *File) CAM() *SwapTable {
+	t, _ := f.mapper.(*SwapTable)
+	return t
+}
+
+// CAMBits returns the swapping-table storage exposed to soft errors, in
+// bits: the CAM's capacity for partitioned designs, zero for monolithic
+// designs (which never consult the table).
+func (f *File) CAMBits() int {
+	if !f.Partitioned() {
+		return 0
+	}
+	if t := f.CAM(); t != nil {
+		return t.Bits()
+	}
+	return 0
+}
 
 // Adaptive returns the FRF mode controller, or nil for non-adaptive
 // designs.

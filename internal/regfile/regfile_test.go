@@ -7,6 +7,33 @@ import (
 	"pilotrf/internal/isa"
 )
 
+func mustSwapTable(t testing.TB, topN int) *SwapTable {
+	t.Helper()
+	st, err := NewSwapTable(topN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustFile(t testing.TB, cfg Config) *File {
+	t.Helper()
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func mustAdaptive(t testing.TB, cfg AdaptiveConfig) *AdaptiveFRF {
+	t.Helper()
+	a, err := NewAdaptiveFRF(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func regs(ns ...int) []isa.Reg {
 	out := make([]isa.Reg, len(ns))
 	for i, n := range ns {
@@ -18,7 +45,7 @@ func regs(ns ...int) []isa.Reg {
 // The paper's Figure 7 walkthrough: promoting R8..R11 with an FRF of 4
 // swaps them pairwise with R0..R3.
 func TestSwapTablePaperExample(t *testing.T) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(t, 4)
 	st.Configure(regs(8, 9, 10, 11), 4)
 	wantPairs := map[isa.Reg]isa.Reg{
 		isa.R(0): isa.R(8), isa.R(8): isa.R(0),
@@ -42,13 +69,13 @@ func TestSwapTablePaperExample(t *testing.T) {
 
 // The paper: an 8-entry table costs 104 bits (13 bits per entry).
 func TestSwapTableBits(t *testing.T) {
-	if got := NewSwapTable(4).Bits(); got != 104 {
+	if got := mustSwapTable(t, 4).Bits(); got != 104 {
 		t.Errorf("Bits = %d, want 104", got)
 	}
 }
 
 func TestSwapTableAlreadyResidentTopRegs(t *testing.T) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(t, 4)
 	// R2 already lives in the FRF; only R8 and R9 need swaps, and they
 	// must not displace R2.
 	st.Configure(regs(8, 2, 9), 4)
@@ -68,7 +95,7 @@ func TestSwapTableAlreadyResidentTopRegs(t *testing.T) {
 }
 
 func TestSwapTableReconfigureResets(t *testing.T) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(t, 4)
 	st.Configure(regs(8, 9, 10, 11), 4) // compiler seed
 	st.Configure(regs(20, 21), 4)       // pilot result replaces it
 	if got := st.Lookup(isa.R(8)); got != isa.R(8) {
@@ -80,7 +107,7 @@ func TestSwapTableReconfigureResets(t *testing.T) {
 }
 
 func TestSwapTableResetRestoresIdentity(t *testing.T) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(t, 4)
 	st.Configure(regs(8, 9), 4)
 	st.Reset()
 	for r := 0; r < 16; r++ {
@@ -91,7 +118,7 @@ func TestSwapTableResetRestoresIdentity(t *testing.T) {
 }
 
 func TestSwapTableOverCapacityPanics(t *testing.T) {
-	st := NewSwapTable(4)
+	st := mustSwapTable(t, 4)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -119,7 +146,7 @@ func TestPropertySwapTablePermutation(t *testing.T) {
 				break
 			}
 		}
-		st := NewSwapTable(frf)
+		st := mustSwapTable(t, frf)
 		st.Configure(top, frf)
 		for r := 0; r < isa.MaxRegs; r++ {
 			if st.Lookup(st.Lookup(isa.R(r))) != isa.R(r) {
@@ -147,7 +174,7 @@ func TestIndexedMatchesCAM(t *testing.T) {
 		nil,
 	}
 	for _, top := range cases {
-		cam := NewSwapTable(4)
+		cam := mustSwapTable(t, 4)
 		idx := NewIndexedSwapTable()
 		cam.Configure(top, 4)
 		idx.Configure(top, 4)
@@ -160,12 +187,12 @@ func TestIndexedMatchesCAM(t *testing.T) {
 }
 
 func TestRouteMonolithic(t *testing.T) {
-	stv := New(DefaultConfig(DesignMonolithicSTV))
+	stv := mustFile(t, DefaultConfig(DesignMonolithicSTV))
 	part, lat := stv.Route(isa.R(10))
 	if part != PartMRF || lat != 1 {
 		t.Errorf("STV route = %v/%d, want MRF/1", part, lat)
 	}
-	ntv := New(DefaultConfig(DesignMonolithicNTV))
+	ntv := mustFile(t, DefaultConfig(DesignMonolithicNTV))
 	part, lat = ntv.Route(isa.R(10))
 	if part != PartMRF || lat != 3 {
 		t.Errorf("NTV route = %v/%d, want MRF/3", part, lat)
@@ -173,7 +200,7 @@ func TestRouteMonolithic(t *testing.T) {
 }
 
 func TestRoutePartitioned(t *testing.T) {
-	f := New(DefaultConfig(DesignPartitioned))
+	f := mustFile(t, DefaultConfig(DesignPartitioned))
 	// Default layout: R0..R3 in FRF, others in SRF.
 	part, lat := f.Route(isa.R(0))
 	if part != PartFRFHigh || lat != 1 {
@@ -195,7 +222,7 @@ func TestRoutePartitioned(t *testing.T) {
 
 func TestRouteAdaptiveLowPower(t *testing.T) {
 	cfg := DefaultConfig(DesignPartitionedAdaptive)
-	f := New(cfg)
+	f := mustFile(t, cfg)
 	// Starts in high-power mode.
 	if part, _ := f.Route(isa.R(0)); part != PartFRFHigh {
 		t.Errorf("initial route = %v, want FRF_high", part)
@@ -217,7 +244,7 @@ func TestRouteAdaptiveLowPower(t *testing.T) {
 func TestAdaptiveThresholdBoundary(t *testing.T) {
 	cfg := AdaptiveConfig{EpochCycles: 50, Threshold: 85, MaxIssuePerCycle: 8}
 	// Exactly at threshold: not low power (strictly-less comparison).
-	a := NewAdaptiveFRF(cfg)
+	a := mustAdaptive(t, cfg)
 	a.OnIssue(85)
 	for i := 0; i < 50; i++ {
 		a.Tick()
@@ -226,7 +253,7 @@ func TestAdaptiveThresholdBoundary(t *testing.T) {
 		t.Error("epoch with issued == threshold flagged low power")
 	}
 	// One below threshold: low power.
-	b := NewAdaptiveFRF(cfg)
+	b := mustAdaptive(t, cfg)
 	b.OnIssue(84)
 	for i := 0; i < 50; i++ {
 		b.Tick()
@@ -237,7 +264,7 @@ func TestAdaptiveThresholdBoundary(t *testing.T) {
 }
 
 func TestAdaptiveModeHoldsForWholeEpoch(t *testing.T) {
-	a := NewAdaptiveFRF(AdaptiveConfig{EpochCycles: 10, Threshold: 5, MaxIssuePerCycle: 8})
+	a := mustAdaptive(t, AdaptiveConfig{EpochCycles: 10, Threshold: 5, MaxIssuePerCycle: 8})
 	for i := 0; i < 10; i++ {
 		a.Tick() // idle epoch -> next epoch low
 	}
@@ -260,7 +287,7 @@ func TestAdaptiveModeHoldsForWholeEpoch(t *testing.T) {
 }
 
 func TestAdaptiveLowEpochFraction(t *testing.T) {
-	a := NewAdaptiveFRF(AdaptiveConfig{EpochCycles: 10, Threshold: 5, MaxIssuePerCycle: 8})
+	a := mustAdaptive(t, AdaptiveConfig{EpochCycles: 10, Threshold: 5, MaxIssuePerCycle: 8})
 	// Epoch 1: idle (low). Epoch 2: busy (high).
 	for i := 0; i < 10; i++ {
 		a.Tick()
@@ -287,25 +314,39 @@ func TestWithThresholdRatio(t *testing.T) {
 	}
 }
 
-func TestAdaptivePanics(t *testing.T) {
+func TestAdaptiveConfigErrors(t *testing.T) {
 	for _, cfg := range []AdaptiveConfig{
 		{EpochCycles: 0, Threshold: 1, MaxIssuePerCycle: 8},
 		{EpochCycles: 50, Threshold: -1, MaxIssuePerCycle: 8},
 		{EpochCycles: 50, Threshold: 401, MaxIssuePerCycle: 8},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("config %+v did not panic", cfg)
-				}
-			}()
-			NewAdaptiveFRF(cfg)
-		}()
+		if _, err := NewAdaptiveFRF(cfg); err == nil {
+			t.Errorf("config %+v did not error", cfg)
+		}
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewSwapTable(0); err == nil {
+		t.Error("NewSwapTable(0) did not error")
+	}
+	if _, err := New(Config{Design: DesignMonolithicSTV, Banks: 0}); err == nil {
+		t.Error("New with no banks did not error")
+	}
+	bad := DefaultConfig(DesignPartitioned)
+	bad.FRFRegs = 0
+	if _, err := New(bad); err == nil {
+		t.Error("partitioned New with empty FRF did not error")
+	}
+	badAdaptive := DefaultConfig(DesignPartitionedAdaptive)
+	badAdaptive.Adaptive.EpochCycles = 0
+	if _, err := New(badAdaptive); err == nil {
+		t.Error("adaptive New with zero epoch did not error")
 	}
 }
 
 func TestBankStriping(t *testing.T) {
-	f := New(DefaultConfig(DesignPartitioned))
+	f := mustFile(t, DefaultConfig(DesignPartitioned))
 	// Consecutive registers of one warp land in different banks.
 	if f.BankOf(0, isa.R(0)) == f.BankOf(0, isa.R(1)) {
 		t.Error("consecutive registers share a bank")
@@ -326,7 +367,7 @@ func TestBankStriping(t *testing.T) {
 }
 
 func TestPhysicalRegIdentityForMonolithic(t *testing.T) {
-	f := New(DefaultConfig(DesignMonolithicSTV))
+	f := mustFile(t, DefaultConfig(DesignMonolithicSTV))
 	if got := f.PhysicalReg(isa.R(9)); got != isa.R(9) {
 		t.Errorf("PhysicalReg = %s, want R9", got)
 	}

@@ -41,11 +41,11 @@ type SwapTable struct {
 
 // NewSwapTable returns a swapping table with capacity for topN promoted
 // registers (2*topN entries).
-func NewSwapTable(topN int) *SwapTable {
+func NewSwapTable(topN int) (*SwapTable, error) {
 	if topN <= 0 {
-		panic(fmt.Sprintf("regfile: swap table for top-%d registers", topN))
+		return nil, fmt.Errorf("regfile: swap table needs a positive top-n register count, got %d", topN)
 	}
-	return &SwapTable{entries: make([]SwapEntry, 0, 2*topN)}
+	return &SwapTable{entries: make([]SwapEntry, 0, 2*topN)}, nil
 }
 
 // Reset invalidates every entry, restoring the identity mapping.
@@ -113,9 +113,53 @@ func (t *SwapTable) Entries() []SwapEntry {
 	return out
 }
 
-// Bits returns the table's storage cost in bits: 13 bits per entry at the
-// table's capacity (6-bit original id, 6-bit mapped id, 1 valid bit).
-func (t *SwapTable) Bits() int { return cap(t.entries) * 13 }
+// EntryBits is the width of one swapping-table row in hardware: a 6-bit
+// original register id, a 6-bit mapped id, and a valid bit.
+const EntryBits = 13
+
+// Bits returns the table's storage cost in bits: EntryBits per entry at
+// the table's capacity.
+func (t *SwapTable) Bits() int { return cap(t.entries) * EntryBits }
+
+// Len returns the number of live (installed) entries, valid or not.
+func (t *SwapTable) Len() int { return len(t.entries) }
+
+// encodeEntry packs a row into its 13-bit hardware layout: bits 0-5
+// Orig, bits 6-11 Mapped, bit 12 Valid.
+func encodeEntry(e SwapEntry) uint16 {
+	w := uint16(e.Orig&0x3F) | uint16(e.Mapped&0x3F)<<6
+	if e.Valid {
+		w |= 1 << 12
+	}
+	return w
+}
+
+// decodeEntry unpacks the 13-bit hardware layout back into a row.
+func decodeEntry(w uint16) SwapEntry {
+	return SwapEntry{
+		Orig:   isa.Reg(w & 0x3F),
+		Mapped: isa.Reg(w >> 6 & 0x3F),
+		Valid:  w>>12&1 == 1,
+	}
+}
+
+// FlipBit models a soft-error upset in the CAM: it flips one bit of
+// entry i's 13-bit encoding in place and returns the resulting row.
+// Depending on the bit this corrupts the original id (a different
+// architected register now matches), the mapped id (lookups return the
+// wrong physical register), or the valid bit (the swap silently
+// disappears). It panics on an out-of-range entry or bit — fault
+// injection owns victim selection and never passes either.
+func (t *SwapTable) FlipBit(i, bit int) SwapEntry {
+	e := decodeEntry(encodeEntry(t.entries[i]) ^ 1<<bit)
+	t.entries[i] = e
+	return e
+}
+
+// Invalidate clears entry i's valid bit, modeling a scrub of a
+// detected-corrupt row (the register pair falls back to the identity
+// mapping until the next Configure).
+func (t *SwapTable) Invalidate(i int) { t.entries[i].Valid = false }
 
 // IndexedSwapTable is the direct-indexed alternative the paper also
 // evaluated: a 63-entry RAM indexed by architected register number. Its
@@ -142,8 +186,9 @@ func (t *IndexedSwapTable) Reset() {
 // Configure installs the mapping for topRegs (see SwapTable.Configure).
 func (t *IndexedSwapTable) Configure(topRegs []isa.Reg, frfRegs int) {
 	t.Reset()
-	// Reuse the CAM algorithm to guarantee identical placement.
-	cam := NewSwapTable(maxInt(len(topRegs), 1))
+	// Reuse the CAM algorithm to guarantee identical placement. The
+	// capacity argument is clamped positive, so the error is impossible.
+	cam, _ := NewSwapTable(maxInt(len(topRegs), 1))
 	cam.Configure(topRegs, frfRegs)
 	for _, e := range cam.Entries() {
 		t.mapping[e.Orig] = e.Mapped

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"pilotrf/internal/energy"
+	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/profile"
@@ -179,6 +180,18 @@ type Config struct {
 	// overhead.
 	Record flightrec.Sink
 
+	// Fault, when set, enables deterministic soft-error injection: each
+	// SM runs an independent (seed-salted) fault process striking RF
+	// cells and the swap-table CAM at rates scaled by the partition's
+	// operating point. Nil disables injection — the hot path then costs
+	// one nil check, perturbs nothing, and allocates nothing.
+	Fault *fault.Config
+
+	// Protect selects the per-partition protection scheme faults are
+	// adjudicated against (and whose check-bit energy overhead the
+	// ledger prices). The zero value is the unprotected baseline.
+	Protect fault.Scheme
+
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
 
@@ -263,6 +276,16 @@ func (c *Config) Validate() error {
 	case c.Energy != nil && c.Energy.Design() != c.RF.Design:
 		return fmt.Errorf("sim: energy ledger priced for %v but RF design is %v",
 			c.Energy.Design(), c.RF.Design)
+	case c.PilotWarpIndex < 0:
+		return fmt.Errorf("sim: pilot warp index %d", c.PilotWarpIndex)
+	}
+	if err := c.Protect.Validate(); err != nil {
+		return err
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -29,6 +29,12 @@ type smEnergy struct {
 	// samples never lock.
 	perAccess [4]float64
 	leakMW    float64
+
+	// protMask caches which partitions carry protection check bits;
+	// overhead counts their check-bit accesses (one per data access),
+	// folded into the ledger once at kernel drain.
+	protMask [4]bool
+	overhead [4]uint64
 }
 
 // newSMEnergy builds the attribution state for one SM.
@@ -40,6 +46,7 @@ func newSMEnergy(led *energy.Ledger, kernelSeq int64, warpSlots int) *smEnergy {
 		heat:      make([][4]uint64, warpSlots*isa.MaxRegs),
 		perAccess: led.PerAccessPJ(),
 		leakMW:    led.LeakageMW(),
+		protMask:  led.ProtectedMask(),
 	}
 }
 

@@ -104,7 +104,10 @@ func TestEnergyChargePathZeroAlloc(t *testing.T) {
 	build := func(cfg Config) *sm {
 		ks := KernelStats{RegHist: stats.NewHistogram(4)}
 		run := &runState{cfg: &cfg, kern: benchKernel(t), stats: &ks}
-		s := newSM(0, &cfg, run)
+		s, err := newSM(0, &cfg, run)
+		if err != nil {
+			t.Fatal(err)
+		}
 		s.launchCTA(0)
 		return s
 	}

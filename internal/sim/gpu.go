@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
+	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/kernel"
@@ -24,6 +26,13 @@ type runState struct {
 	// enKernel is the ledger-scoped kernel sequence number stamped into
 	// energy charges (0 when the ledger is disabled).
 	enKernel int64
+
+	// fatal, when set by a fault adjudication (retry exhaustion on an
+	// uncorrectable error), aborts the kernel at the next cycle boundary.
+	// The run still drains its observers — epochs flush, the ledger
+	// closes, the recorder gets its final checksum — so the partial run
+	// remains analyzable; only then does RunKernel surface the error.
+	fatal error
 }
 
 func (r *runState) nextWarpID() int {
@@ -62,10 +71,16 @@ type GPU struct {
 	cfg Config
 }
 
-// New validates the configuration and returns a GPU.
+// New validates the configuration and returns a GPU. When both an energy
+// ledger and a protection scheme are configured, the ledger is primed
+// with the scheme's per-partition check-bit pricing so the protection
+// overhead appears in the energy report and its conservation check.
 func New(cfg Config) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Energy != nil {
+		cfg.Energy.SetProtection(cfg.Protect.Mask(), fault.OverheadTable(cfg.RF.Design, cfg.Protect))
 	}
 	return &GPU{cfg: cfg}, nil
 }
@@ -100,7 +115,11 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 
 	sms := make([]*sm, g.cfg.NumSMs)
 	for i := range sms {
-		sms[i] = newSM(i, &g.cfg, run)
+		var err error
+		sms[i], err = newSM(i, &g.cfg, run)
+		if err != nil {
+			return ks, err
+		}
 		if sms[i].ctaCapacity() < 1 {
 			return ks, fmt.Errorf("sim: kernel %s does not fit on an SM (regs %d x warps %d)",
 				k.Prog.Name, k.Prog.NumRegs, k.WarpsPerCTA())
@@ -132,12 +151,18 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 				s.tick()
 			}
 		}
-		if !busy {
+		if !busy || run.fatal != nil {
 			break
 		}
 		cycle++
 		if cycle > g.cfg.MaxCycles {
-			return ks, fmt.Errorf("sim: kernel %s exceeded %d cycles (deadlock?)", k.Prog.Name, g.cfg.MaxCycles)
+			// Break instead of returning so the drain below still runs:
+			// the aborted kernel keeps its cycle count, fault counters,
+			// and final checksums — fault campaigns classify watchdog
+			// aborts and need those.
+			run.fatal = fmt.Errorf("sim: kernel %s exceeded %d cycles (deadlock?): %w",
+				k.Prog.Name, g.cfg.MaxCycles, ErrCycleLimit)
+			break
 		}
 	}
 
@@ -154,6 +179,10 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 		if s.en != nil {
 			s.flushEnergyEpoch()
 			s.foldHeat()
+			s.en.led.AddOverhead(s.en.overhead)
+		}
+		if s.inj != nil {
+			ks.Fault.Add(*s.inj.Stats())
 		}
 		if s.rec != nil {
 			// Final architectural-state checksum per SM, so even short
@@ -194,18 +223,28 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 	}
 	ks.PilotFraction = stats.Mean(pilotFracs)
 	ks.LowEpochFraction = stats.Mean(lowFracs)
-	return ks, nil
+	return ks, run.fatal
 }
+
+// ErrCycleLimit marks a kernel aborted by the MaxCycles watchdog; match
+// it with errors.Is. Beyond genuine scheduler deadlocks, an injected
+// fault that corrupts a loop counter or branch input can spin a kernel
+// forever — the watchdog abort is how that runaway manifests, so fault
+// campaigns treat it as corrupted execution rather than a harness
+// failure.
+var ErrCycleLimit = errors.New("cycle limit exceeded")
 
 // RunKernels executes a sequence of kernels (a workload) back to back.
 func (g *GPU) RunKernels(name string, kernels []kernel.Kernel) (RunStats, error) {
 	rs := RunStats{Workload: name}
 	for i := range kernels {
 		ks, err := g.RunKernel(&kernels[i])
+		// The aborted kernel's stats still carry its drained counters
+		// (fault outcomes included), so keep them alongside the error.
+		rs.Kernels = append(rs.Kernels, ks)
 		if err != nil {
 			return rs, fmt.Errorf("kernel %d: %w", i, err)
 		}
-		rs.Kernels = append(rs.Kernels, ks)
 	}
 	return rs, nil
 }

@@ -85,6 +85,11 @@ func (s *sm) recordChecksum() {
 		ctl = fnvAdd(ctl, 1)
 	}
 	s.record(flightrec.KindChecksum, -1, -1, rf, ctl, "")
+	// The cumulative dataflow digest rides along with every checksum:
+	// unlike the state hashes above it is timing-independent, which is
+	// what lets a fault campaign compare a retry-delayed run against its
+	// fault-free golden twin for silent data corruption.
+	s.record(flightrec.KindReadHash, -1, -1, s.readHash, s.readCount, "")
 }
 
 // mappingHash fingerprints the swapping table: the physical location of

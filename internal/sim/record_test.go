@@ -76,7 +76,10 @@ func TestRecordDisabledZeroAlloc(t *testing.T) {
 	cfg := testConfig()
 	ks := KernelStats{RegHist: stats.NewHistogram(4)}
 	run := &runState{cfg: &cfg, kern: benchKernel(t), stats: &ks}
-	s := newSM(0, &cfg, run)
+	s, err := newSM(0, &cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.launchCTA(0)
 	if s.rec != nil {
 		t.Fatal("recorder attached without Config.Record")

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/profile"
@@ -59,18 +60,43 @@ type sm struct {
 	// the current cycle, so the stall classifier can tell whether an
 	// otherwise-ready warp lost only the structural collector hazard.
 	telCollectorMark uint64
+
+	// Fault injection (nil unless Config.Fault is set). faults holds the
+	// live injected faults on this SM; flips the one-shot read-path
+	// corruptions restored right after execute. readHash/readCount
+	// accumulate the commutative dataflow digest — maintained only while
+	// a flight recorder is attached, since the digest exists to detect
+	// silent data corruption against a recorded golden run.
+	inj       *fault.Injector
+	faults    []pendingFault
+	flips     []appliedFlip
+	readHash  uint64
+	readCount uint64
 }
 
-func newSM(id int, cfg *Config, run *runState) *sm {
+func newSM(id int, cfg *Config, run *runState) (*sm, error) {
+	rf, err := regfile.New(cfg.RF)
+	if err != nil {
+		return nil, err
+	}
 	s := &sm{
 		id:    id,
 		cfg:   cfg,
 		run:   run,
 		warps: make([]*warpCtx, cfg.WarpSlotsPerSM),
 		banks: make([]bankState, cfg.RF.Banks),
-		rf:    regfile.New(cfg.RF),
+		rf:    rf,
 	}
-	s.profCtl = profile.NewController(cfg.Profiling, cfg.ProfTopN, maxInt(cfg.RF.FRFRegs, cfg.ProfTopN), s.rf.Mapper())
+	s.profCtl, err = profile.NewController(cfg.Profiling, cfg.ProfTopN, maxInt(cfg.RF.FRFRegs, cfg.ProfTopN), s.rf.Mapper())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Fault != nil {
+		s.inj, err = fault.NewInjector(*cfg.Fault, cfg.RF.Design, id, rf.CAMBits())
+		if err != nil {
+			return nil, err
+		}
+	}
 	if cfg.Profiling == profile.TechniqueOracle {
 		s.profCtl.SetOracle(cfg.Oracle)
 	}
@@ -109,7 +135,7 @@ func newSM(id int, cfg *Config, run *runState) *sm {
 		}
 		s.schedulers = append(s.schedulers, newSchedState(i, slots, cfg.Policy, s.tlPoolSize()))
 	}
-	return s
+	return s, nil
 }
 
 func maxInt(a, b int) int {
@@ -220,6 +246,9 @@ func (s *sm) busy() bool {
 // tick advances the SM by one cycle.
 func (s *sm) tick() {
 	s.runEvents()
+	if s.inj != nil {
+		s.faultTick()
+	}
 	s.issuedEpoch = 0
 	if s.tel != nil {
 		s.telCollectorMark = s.run.stats.CollectorStalls
@@ -331,12 +360,29 @@ func (s *sm) issue(sc *schedState, w *warpCtx) {
 		return
 	}
 
+	// Fault adjudication on the operand rows about to be read. A parity
+	// detection squashes the issue: the warp re-issues the instruction
+	// after the retry penalty (or the kernel aborts on retry exhaustion).
+	if s.inj != nil && len(s.faults) > 0 && s.faultPreExec(w, in, execMask) {
+		return
+	}
+
 	// Register access accounting happens at scheduling time — this is
 	// where the paper's pilot counters hook in.
 	s.countAccesses(w, in)
 
+	// The dataflow digest folds the operand values actually consumed —
+	// before execute, so a dst that doubles as a src hashes its input.
+	if s.rec != nil {
+		s.foldReadDigest(w, in, execMask)
+	}
+
 	// Functional execution.
 	s.execute(w, in, execMask)
+
+	if s.inj != nil && (len(s.flips) > 0 || len(s.faults) > 0) {
+		s.faultPostExec(w, in, execMask)
+	}
 
 	// Scoreboard.
 	if d, ok := in.DstReg(); ok {
@@ -532,6 +578,11 @@ func (s *sm) countPartAccess(p regfile.Partition, warp int, arch isa.Reg) {
 	if s.en != nil {
 		s.en.parts[p]++
 		s.en.heat[warp*isa.MaxRegs+int(arch)][p]++
+		if s.en.protMask[p] {
+			// A protected partition reads/writes its check bits with
+			// every access; the ledger prices them at flush time.
+			s.en.overhead[p]++
+		}
 	}
 }
 

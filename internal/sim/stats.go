@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"pilotrf/internal/fault"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/rfc"
 	"pilotrf/internal/stats"
@@ -74,6 +75,10 @@ type KernelStats struct {
 	// cause; its Total always equals StallCycles(). Populated only when
 	// telemetry is enabled.
 	StallBreakdown telemetry.StallBreakdown
+
+	// Fault aggregates the injection and protection outcome counters
+	// across SMs. All-zero when injection is disabled.
+	Fault fault.Stats
 }
 
 // StallCycles returns the number of SM-cycles that issued nothing — the
@@ -221,6 +226,15 @@ func (r RunStats) StallTotals() (bd telemetry.StallBreakdown, busy, smCycles uin
 		smCycles += r.Kernels[i].SMCycles
 	}
 	return bd, busy, smCycles
+}
+
+// FaultTotals sums the fault-injection outcome counters across kernels.
+func (r RunStats) FaultTotals() fault.Stats {
+	var t fault.Stats
+	for i := range r.Kernels {
+		t.Add(r.Kernels[i].Fault)
+	}
+	return t
 }
 
 // RFCTotals sums RFC statistics across kernels.

@@ -261,7 +261,10 @@ func TestTelemetryHotPathZeroAlloc(t *testing.T) {
 	cfg.Metrics = NewMetricsRecorder(1 << 30) // never reach a boundary
 	ks := KernelStats{RegHist: stats.NewHistogram(4)}
 	run := &runState{cfg: &cfg, kern: benchKernel(t), stats: &ks}
-	s := newSM(0, &cfg, run)
+	s, err := newSM(0, &cfg, run)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.launchCTA(0)
 
 	if a := testing.AllocsPerRun(1000, func() {
@@ -299,7 +302,10 @@ func BenchmarkObserveCycle(b *testing.B) {
 	cfg.Metrics = NewMetricsRecorder(1 << 30)
 	ks := KernelStats{RegHist: stats.NewHistogram(4)}
 	run := &runState{cfg: &cfg, kern: benchKernel(b), stats: &ks}
-	s := newSM(0, &cfg, run)
+	s, err := newSM(0, &cfg, run)
+	if err != nil {
+		b.Fatal(err)
+	}
 	s.launchCTA(0)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -46,6 +46,12 @@ type warpCtx struct {
 
 	finishCycle int64
 	lastIssue   int64
+
+	// execSeq counts the warp's executed (non-squashed, non-control)
+	// instructions. It keys the dataflow digest, so it must advance
+	// identically whether or not fault retries delayed the issue —
+	// squashed issues therefore do not increment it.
+	execSeq uint64
 }
 
 func newWarpCtx(slot, globalID int, cta *ctaCtx, inCTA int, prog *kernel.Program, threads uint32) *warpCtx {

@@ -24,6 +24,7 @@ import (
 	"io"
 
 	"pilotrf/internal/energy"
+	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
@@ -313,6 +314,85 @@ func DiffRecordings(a, b *Recording, window int) *DiffReport {
 
 // ReadRecording loads a pilotrf-flightrec/v1 NDJSON recording.
 func ReadRecording(path string) (*Recording, error) { return flightrec.ReadFile(path) }
+
+// Resilience types, re-exported for soft-error injection campaigns,
+// ECC/parity protection, and silent-data-corruption detection.
+type (
+	// FaultConfig parameterizes the seeded soft-error injector; the
+	// zero value disables injection, a positive Rate enables it.
+	FaultConfig = fault.Config
+	// FaultStats counts injection activity and protection outcomes
+	// (exposed per kernel via KernelStats.Faults and summed by
+	// Result.Stats.FaultTotals).
+	FaultStats = fault.Stats
+	// Protection is one partition's protection code (none, parity, or
+	// SECDED ECC).
+	Protection = fault.Protection
+	// ProtectionScheme assigns a Protection to each RF partition.
+	ProtectionScheme = fault.Scheme
+	// UnrecoverableFault is the structured error a run aborts with when
+	// a detected-but-uncorrectable fault exhausts its re-issue retries;
+	// unwrap it with errors.As.
+	UnrecoverableFault = fault.UnrecoverableError
+	// SDCProbe distills a run into per-kernel dataflow digests; compare
+	// a faulty run's probe against a fault-free golden probe to detect
+	// silent data corruption.
+	SDCProbe = fault.DigestProbe
+)
+
+// Protection codes for ProtectionScheme slots.
+const (
+	ProtectNone   = fault.ProtectNone
+	ProtectParity = fault.ProtectParity
+	ProtectSECDED = fault.ProtectSECDED
+)
+
+// Protection scheme presets.
+var (
+	// Unprotected leaves every partition bare (the SDC baseline).
+	Unprotected = fault.Unprotected
+	// FullParity puts parity + re-issue retry on every partition.
+	FullParity = fault.FullParity
+	// FullSECDED puts SECDED ECC on every partition.
+	FullSECDED = fault.FullSECDED
+	// PaperProtection matches protection to operating point: SECDED on
+	// the near-threshold SRF (and NTV MRF), parity on the STV FRF.
+	PaperProtection = fault.PaperScheme
+)
+
+// EnableFaultInjection makes subsequent runs inject soft errors into the
+// RF partitions and the swap-table CAM, deterministically from
+// cfg.Seed. Outcomes land in FaultStats; an uncorrectable fault aborts
+// the run with an *UnrecoverableFault.
+func (s *Simulator) EnableFaultInjection(cfg FaultConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.cfg.Fault = &cfg
+	return nil
+}
+
+// EnableProtection selects the ECC/parity scheme subsequent runs check
+// faults against. Check-bit energy overhead is priced into any enabled
+// EnergyLedger, so protected and unprotected runs are comparable.
+func (s *Simulator) EnableProtection(scheme ProtectionScheme) error {
+	if err := scheme.Validate(); err != nil {
+		return err
+	}
+	s.cfg.Protect = scheme
+	return nil
+}
+
+// EnableSDCProbe makes subsequent runs stream their dataflow digests
+// into the returned probe. Run once fault-free and once with injection
+// enabled, then probe.Diverged(golden) flags silent data corruption. It
+// claims the recording sink, so it is mutually exclusive with
+// EnableFlightRecorder and EnableReplayCheck.
+func (s *Simulator) EnableSDCProbe() *SDCProbe {
+	p := fault.NewDigestProbe()
+	s.cfg.Record = p
+	return p
+}
 
 // Result is the outcome of running one workload.
 type Result struct {
