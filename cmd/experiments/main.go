@@ -32,6 +32,7 @@ import (
 
 	"pilotrf/internal/benchjson"
 	"pilotrf/internal/experiments"
+	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
 )
 
@@ -99,7 +100,7 @@ func run() int {
 		sms       = flag.Int("sms", 2, "simulated SMs")
 		only      = flag.String("only", "", "comma-separated experiment list (empty = all)")
 		jsonPath  = flag.String("json", "", "also write the results as JSON to this file")
-		parallel  = flag.Bool("parallel", true, "pre-run the shared simulations across all CPU cores")
+		parallel  = flag.Int("parallel", jobs.DefaultWorkers(), "worker count for pre-running the shared simulations (0 disables the warm pass)")
 		httpAddr  = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
 		benchJSON = flag.String("bench-json", "", "run the root benchmark harness once and write parsed results as JSON to this file, then exit")
 	)
@@ -173,7 +174,12 @@ func run() int {
 	}
 
 	r := experiments.NewRunner(*scale, *sms)
-	if *parallel {
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "parallel must be >= 0, got %d\n", *parallel)
+		return 2
+	}
+	if *parallel > 0 {
+		r.Workers = *parallel
 		r.Warm()
 	}
 

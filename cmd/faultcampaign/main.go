@@ -22,62 +22,48 @@
 //
 //	faultcampaign [-bench csv] [-designs csv] [-protect csv]
 //	              [-trials n] [-rate f] [-seed n] [-scale f] [-sms n]
+//	              [-parallel n] [-cache-dir dir]
 //	              [-out report.json] [-v]
+//
+// The golden runs and every cell's trials are independent simulations;
+// -parallel runs them on a work-stealing pool (internal/jobs) with one
+// worker per core by default. The merge is in canonical submission
+// order, so the report is byte-identical to -parallel 1 for the same
+// flags. -cache-dir persists golden digests and finished cells under
+// content-addressed keys: re-sweeps with overlapping grids and
+// campaigns interrupted partway resume instead of recomputing, and a
+// corrupt cache entry silently degrades to recomputation.
 //
 // The whole campaign derives from -seed: equal flags produce a
 // byte-identical report.
 package main
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"pilotrf/internal/fault"
-	"pilotrf/internal/regfile"
-	"pilotrf/internal/sim"
-	"pilotrf/internal/workloads"
+	"pilotrf/internal/campaign"
+	"pilotrf/internal/jobs"
 )
 
 // Schema identifies the report format; bump on incompatible change.
-const Schema = "pilotrf-faultcampaign/v1"
+const Schema = campaign.Schema
 
-// Outcomes counts trial classifications within one campaign cell.
-type Outcomes struct {
-	Masked                int `json:"masked"`
-	Corrected             int `json:"corrected"`
-	DetectedUnrecoverable int `json:"detected_unrecoverable"`
-	SDC                   int `json:"sdc"`
-}
-
-// Cell is one (design, protection, workload) campaign cell: trial
-// classifications plus the aggregate fault counters across its trials.
-type Cell struct {
-	Design       string   `json:"design"`
-	Protection   string   `json:"protection"`
-	Workload     string   `json:"workload"`
-	Outcomes     Outcomes `json:"outcomes"`
-	Injected     uint64   `json:"injected"`
-	Corrected    uint64   `json:"corrected"`
-	Retries      uint64   `json:"retries"`
-	SilentReads  uint64   `json:"silent_reads"`
-	CAMCorrupted uint64   `json:"cam_corrupted"`
-}
-
-// Report is the versioned campaign result.
-type Report struct {
-	Schema string  `json:"schema"`
-	Rate   float64 `json:"rate"`
-	Seed   uint64  `json:"seed"`
-	Trials int     `json:"trials"`
-	Scale  float64 `json:"scale"`
-	SMs    int     `json:"sms"`
-	Cells  []Cell  `json:"cells"`
-}
+// The report types live in internal/campaign (shared with the job
+// server); the aliases keep this command's public shape unchanged.
+type (
+	// Report is the versioned campaign result.
+	Report = campaign.Report
+	// Cell is one (design, protection, workload) campaign cell.
+	Cell = campaign.Cell
+	// Outcomes counts trial classifications within one cell.
+	Outcomes = campaign.Outcomes
+)
 
 // usageError marks a bad flag value, exiting 2 rather than the runtime
 // failures' 1.
@@ -93,27 +79,15 @@ func main() {
 	}
 }
 
-// parseDesign maps the CLI design names (shared with pilotsim) to designs.
-func parseDesign(name string) (regfile.Design, error) {
-	switch name {
-	case "mrf-stv":
-		return regfile.DesignMonolithicSTV, nil
-	case "mrf-ntv":
-		return regfile.DesignMonolithicNTV, nil
-	case "part":
-		return regfile.DesignPartitioned, nil
-	case "part-adaptive":
-		return regfile.DesignPartitionedAdaptive, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q", name)
+// splitCSV splits a comma-separated flag into trimmed names.
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
-}
-
-// trialSeed derives the fault seed of one trial from the campaign seed.
-// The injector further salts per SM, so every (trial, SM) process is an
-// independent, reproducible stream.
-func trialSeed(seed uint64, trial int) uint64 {
-	return seed + uint64(trial+1)*0xA24BAED4963EE407
+	return out
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -127,84 +101,67 @@ func run(args []string, stdout io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "campaign seed; the whole report derives from it")
 		scale     = fs.Float64("scale", 0.05, "CTA count scale factor")
 		sms       = fs.Int("sms", 2, "number of SMs")
+		parallel  = fs.Int("parallel", jobs.DefaultWorkers(), "worker count for golden runs and trials (1 = sequential; same bytes either way)")
+		cacheDir  = fs.String("cache-dir", "", "persist golden runs and finished cells here (content-addressed; corrupt entries recompute)")
 		outPath   = fs.String("out", "", "write the JSON report here (empty = stdout)")
 		verbose   = fs.Bool("v", false, "print a per-cell summary table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel <= 0 {
+		return usageError{fmt.Errorf("parallel must be positive, got %d", *parallel)}
+	}
+
+	spec := campaign.Spec{
+		Benchmarks: splitCSV(*benchName),
+		Designs:    splitCSV(*designs),
+		Protect:    splitCSV(*protect),
+		Trials:     *trials,
+		Rate:       *rate,
+		Seed:       *seed,
+		Scale:      *scale,
+		SMs:        *sms,
+	}
+	// Spec zero values select defaults, so explicitly bad flag values
+	// must be rejected here as usage errors before any simulation runs.
 	if *trials <= 0 {
 		return usageError{fmt.Errorf("trials must be positive, got %d", *trials)}
 	}
-	if (fault.Config{Rate: *rate}).Validate() != nil || *rate == 0 {
+	if *rate <= 0 {
 		return usageError{fmt.Errorf("rate must be a positive finite upsets/bit/cycle, got %v", *rate)}
 	}
-
-	var ds []regfile.Design
-	var dNames []string
-	for _, name := range strings.Split(*designs, ",") {
-		name = strings.TrimSpace(name)
-		d, err := parseDesign(name)
-		if err != nil {
-			return usageError{err}
-		}
-		ds = append(ds, d)
-		dNames = append(dNames, name)
-	}
-	var schemes []fault.Scheme
-	var schemeNames []string
-	for _, name := range strings.Split(*protect, ",") {
-		name = strings.TrimSpace(name)
-		s, err := fault.ParseScheme(name)
-		if err != nil {
-			return usageError{err}
-		}
-		schemes = append(schemes, s)
-		schemeNames = append(schemeNames, name)
-	}
-	var wls []workloads.Workload
-	if *benchName == "" {
-		wls = workloads.All()
-	} else {
-		for _, name := range strings.Split(*benchName, ",") {
-			w, err := workloads.ByName(strings.TrimSpace(name))
-			if err != nil {
-				return usageError{err}
-			}
-			wls = append(wls, w)
-		}
+	if err := spec.Validate(); err != nil {
+		return usageError{err}
 	}
 
-	rep := Report{Schema: Schema, Rate: *rate, Seed: *seed, Trials: *trials, Scale: *scale, SMs: *sms}
+	var cache *jobs.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = jobs.OpenCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	pool, err := jobs.New(jobs.Config{Workers: *parallel})
+	if err != nil {
+		return err
+	}
+	defer pool.Close()
+
+	opt := campaign.Options{Pool: pool, Cache: cache}
 	if *verbose {
 		fmt.Fprintf(stdout, "%-14s %-8s %-10s %7s %7s %7s %7s %9s\n",
 			"design", "protect", "bench", "masked", "corr", "unrec", "sdc", "injected")
-	}
-	for di, d := range ds {
-		cfg := sim.DefaultConfig().WithDesign(d)
-		cfg.NumSMs = *sms
-		for _, w := range wls {
-			w = w.Scale(*scale)
-			golden, goldenCycles, err := goldenRun(cfg, w)
-			if err != nil {
-				return fmt.Errorf("golden %v/%s: %w", d, w.Name, err)
-			}
-			for si, scheme := range schemes {
-				cell, err := runCell(cfg, w, golden, goldenCycles, scheme, *rate, *seed, *trials)
-				if err != nil {
-					return fmt.Errorf("%v/%s/%s: %w", d, schemeNames[si], w.Name, err)
-				}
-				cell.Design = dNames[di]
-				cell.Protection = schemeNames[si]
-				rep.Cells = append(rep.Cells, cell)
-				if *verbose {
-					o := cell.Outcomes
-					fmt.Fprintf(stdout, "%-14s %-8s %-10s %7d %7d %7d %7d %9d\n",
-						cell.Design, cell.Protection, cell.Workload,
-						o.Masked, o.Corrected, o.DetectedUnrecoverable, o.SDC, cell.Injected)
-				}
-			}
+		opt.CellDone = func(c campaign.Cell) {
+			o := c.Outcomes
+			fmt.Fprintf(stdout, "%-14s %-8s %-10s %7d %7d %7d %7d %9d\n",
+				c.Design, c.Protection, c.Workload,
+				o.Masked, o.Corrected, o.DetectedUnrecoverable, o.SDC, c.Injected)
 		}
+	}
+	rep, err := campaign.Run(context.Background(), spec, opt)
+	if err != nil {
+		return err
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -220,84 +177,10 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d cells to %s\n", len(rep.Cells), *outPath)
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d misses (%d corrupt), %d writes\n",
+			cache.Dir(), st.Hits, st.Misses, st.Corrupt, st.Puts)
+	}
 	return nil
-}
-
-// goldenRun executes the workload fault-free and returns its dataflow
-// digest — the reference every trial of the same (design, workload)
-// compares against — plus its total cycle count, which sizes the
-// trials' watchdog budget.
-func goldenRun(cfg sim.Config, w workloads.Workload) (*fault.DigestProbe, int64, error) {
-	probe := fault.NewDigestProbe()
-	cfg.Record = probe
-	g, err := sim.New(cfg)
-	if err != nil {
-		return nil, 0, err
-	}
-	rs, err := g.RunKernels(w.Name, w.Kernels)
-	if err != nil {
-		return nil, 0, err
-	}
-	return probe, rs.TotalCycles(), nil
-}
-
-// watchdogBudget bounds a faulty trial's runtime: a fault that corrupts
-// control flow can spin a kernel forever, and without a tight budget a
-// single runaway trial stalls the whole campaign for the simulator's
-// default 200M-cycle limit. 50x the fault-free run plus slack is far
-// above any legitimate retry overhead (bounded re-issues at a few
-// cycles each) while catching runaways in milliseconds.
-func watchdogBudget(goldenCycles int64) int64 {
-	return 50*goldenCycles + 10_000
-}
-
-// runCell executes the trials of one campaign cell and classifies each.
-func runCell(cfg sim.Config, w workloads.Workload, golden *fault.DigestProbe, goldenCycles int64, scheme fault.Scheme, rate float64, seed uint64, trials int) (Cell, error) {
-	cell := Cell{Workload: w.Name}
-	cfg.MaxCycles = watchdogBudget(goldenCycles)
-	for t := 0; t < trials; t++ {
-		probe := fault.NewDigestProbe()
-		cfg.Record = probe
-		cfg.Protect = scheme
-		cfg.Fault = &fault.Config{Rate: rate, Seed: trialSeed(seed, t)}
-		g, err := sim.New(cfg)
-		if err != nil {
-			return cell, err
-		}
-		rs, err := g.RunKernels(w.Name, w.Kernels)
-		st := rs.FaultTotals()
-		cell.Injected += st.TotalInjected()
-		cell.Corrected += st.Corrected
-		cell.Retries += st.DetectedRetry
-		cell.SilentReads += st.SilentReads
-		cell.CAMCorrupted += st.CAMCorrupted
-
-		var ue *fault.UnrecoverableError
-		switch {
-		case errors.As(err, &ue):
-			cell.Outcomes.DetectedUnrecoverable++
-		case errors.Is(err, sim.ErrCycleLimit):
-			// A fault corrupted control flow into a runaway loop; the
-			// watchdog caught it. Nothing detected it architecturally,
-			// so it is silent corruption, not graceful degradation.
-			cell.Outcomes.SDC++
-		case err != nil:
-			// Anything but a clean fault abort is a campaign bug.
-			return cell, err
-		case diverged(probe, golden):
-			cell.Outcomes.SDC++
-		case st.Corrected+st.RetrySuccess+st.CAMRepaired > 0:
-			cell.Outcomes.Corrected++
-		default:
-			cell.Outcomes.Masked++
-		}
-	}
-	return cell, nil
-}
-
-// diverged reports whether the trial's dataflow digest differs from the
-// golden run on any kernel.
-func diverged(probe, golden *fault.DigestProbe) bool {
-	_, div := probe.Diverged(golden)
-	return div
 }

@@ -156,3 +156,93 @@ func TestCampaignBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignParallelByteIdentical is the PR's acceptance property at
+// the CLI level: -parallel N merges results in canonical submission
+// order, so the report bytes match -parallel 1 exactly.
+func TestCampaignParallelByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	seqPath := filepath.Join(dir, "seq.json")
+	parPath := filepath.Join(dir, "par.json")
+	var out bytes.Buffer
+	if err := run(campaignArgs("-parallel", "1", "-out", seqPath), &out); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if err := run(campaignArgs("-parallel", "4", "-out", parPath), &out); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	seq, err := os.ReadFile(seqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := os.ReadFile(parPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seq, par) {
+		t.Error("-parallel 4 report differs from -parallel 1")
+	}
+
+	// The verbose table must be byte-identical too: CellDone is
+	// ordered, not completion-ordered.
+	var seqTab, parTab bytes.Buffer
+	if err := run(campaignArgs("-parallel", "1", "-v", "-out", seqPath), &seqTab); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(campaignArgs("-parallel", "4", "-v", "-out", parPath), &parTab); err != nil {
+		t.Fatal(err)
+	}
+	if seqTab.String() != parTab.String() {
+		t.Errorf("verbose tables differ:\n--- seq\n%s--- par\n%s", seqTab.String(), parTab.String())
+	}
+}
+
+// TestCampaignCacheDir: a warm -cache-dir reproduces the identical
+// report, and corrupting the cache degrades to recomputation with the
+// same bytes — never a crash or a poisoned report.
+func TestCampaignCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	cold := filepath.Join(dir, "cold.json")
+	warm := filepath.Join(dir, "warm.json")
+	var out bytes.Buffer
+	if err := run(campaignArgs("-cache-dir", cacheDir, "-out", cold), &out); err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if err := run(campaignArgs("-cache-dir", cacheDir, "-out", warm), &out); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	coldB, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmB, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldB, warmB) {
+		t.Error("warm-cache report differs from cold report")
+	}
+
+	// Trash every entry: bad entry => recompute, not crash.
+	ents, err := os.ReadDir(cacheDir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir unreadable or empty: %v", err)
+	}
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(cacheDir, e.Name()), []byte("{broken"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	healed := filepath.Join(dir, "healed.json")
+	if err := run(campaignArgs("-cache-dir", cacheDir, "-out", healed), &out); err != nil {
+		t.Fatalf("run over corrupted cache: %v", err)
+	}
+	healedB, err := os.ReadFile(healed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldB, healedB) {
+		t.Error("recomputed-after-corruption report differs")
+	}
+}

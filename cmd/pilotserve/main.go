@@ -1,0 +1,121 @@
+// Command pilotserve is the batch simulation job server: it accepts
+// fault-campaign specs over HTTP, runs them on one shared work-stealing
+// pool (internal/jobs) with a content-addressed result cache, and
+// streams per-job progress. Equal specs produce byte-identical reports,
+// exactly like cmd/faultcampaign.
+//
+// Usage:
+//
+//	pilotserve [-addr :8091] [-parallel n] [-cache-dir dir]
+//	           [-queue-units n] [-per-client n]
+//
+// API:
+//
+//	POST /v1/jobs        — submit a batch: {"jobs":[spec, ...]} where
+//	                       each spec matches internal/campaign.Spec
+//	                       (benchmarks, designs, protect, trials, rate,
+//	                       seed, scale, sms; zero values select the
+//	                       campaign defaults). Returns 202 and
+//	                       {"jobs":[{"id":"job-1","units":n}, ...]}.
+//	                       Admission is atomic per batch; a full queue
+//	                       or a client over its in-flight limit gets
+//	                       429 with Retry-After.
+//	GET  /v1/jobs/{id}   — stream NDJSON progress lines
+//	                       {"id","state","done","total"} until the
+//	                       terminal line carries the report ("done") or
+//	                       the error ("failed").
+//	GET  /healthz        — 200 while serving, 503 while draining.
+//	GET  /metrics        — serving + pool metrics (text, or
+//	                       ?format=json); /debug/vars and /debug/pprof
+//	                       ride along via the telemetry mux.
+//
+// SIGINT/SIGTERM drains gracefully: admission stops (503), running jobs
+// finish, then the process exits 0. A second signal forces exit 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"pilotrf/internal/jobs"
+	"pilotrf/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pilotserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8091", "listen address")
+		parallel   = fs.Int("parallel", jobs.DefaultWorkers(), "simulation pool worker count")
+		cacheDir   = fs.String("cache-dir", "", "persist golden runs and cells here across jobs and restarts")
+		queueUnits = fs.Int("queue-units", jobs.DefaultQueueDepth, "max admitted simulation jobs (golden runs + trials) in flight")
+		perClient  = fs.Int("per-client", 8, "max in-flight batch jobs per client")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *parallel <= 0 || *queueUnits <= 0 || *perClient <= 0 {
+		fmt.Fprintln(os.Stderr, "parallel, queue-units, and per-client must be positive")
+		return 2
+	}
+
+	s, err := newServer(serverConfig{
+		workers:    *parallel,
+		queueUnits: *queueUnits,
+		perClient:  *perClient,
+		cacheDir:   *cacheDir,
+		reg:        telemetry.NewRegistry(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv := &http.Server{Handler: s}
+	fmt.Fprintf(os.Stderr, "pilotserve listening on %s (%d workers, %d queue units)\n",
+		ln.Addr(), *parallel, *queueUnits)
+
+	// First signal: drain — stop admitting, finish running jobs, exit 0.
+	// Second signal: force exit 3 without waiting.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	case <-sigc:
+	}
+	fmt.Fprintln(os.Stderr, "draining: waiting for running jobs (signal again to force)")
+	s.beginDrain()
+	drained := make(chan struct{})
+	go func() {
+		s.waitIdle()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		_ = srv.Close()
+		fmt.Fprintln(os.Stderr, "drained cleanly")
+		return 0
+	case <-sigc:
+		fmt.Fprintln(os.Stderr, "forced shutdown: jobs abandoned")
+		return 3
+	}
+}

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/campaign"
+	"pilotrf/internal/jobs"
+	"pilotrf/internal/telemetry"
+)
+
+// testSpecJSON is a one-cell, one-trial campaign: cheap, but it still
+// exercises the golden run and a trial (2 admission units).
+const testSpecJSON = `{"benchmarks":["sgemm"],"designs":["part-adaptive"],"protect":["none"],"trials":1,"scale":0.05,"sms":1,"seed":7}`
+
+func newTestServer(t *testing.T, cfg serverConfig) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// streamJob reads the job's NDJSON stream to its terminal line,
+// asserting monotonic progress along the way.
+func streamJob(t *testing.T, ts *httptest.Server, id string) jobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	var last jobStatus
+	lastDone := -1
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var st jobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if st.Done < lastDone {
+			t.Errorf("progress went backwards: %d after %d", st.Done, lastDone)
+		}
+		lastDone = st.Done
+		last = st
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.State != "done" && last.State != "failed" {
+		t.Fatalf("stream ended in state %q", last.State)
+	}
+	return last
+}
+
+// TestSubmitAndStream drives the happy path end to end: a two-job batch
+// is accepted with deterministic ids, both streams end in "done", and
+// each report is byte-identical to running the same spec directly
+// through the campaign engine.
+func TestSubmitAndStream(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 2})
+	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`,`+testSpecJSON+`]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Jobs) != 2 || sub.Jobs[0].ID != "job-1" || sub.Jobs[1].ID != "job-2" {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	var spec campaign.Spec
+	if err := json.Unmarshal([]byte(testSpecJSON), &spec); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := jobs.New(jobs.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	want, err := campaign.Run(context.Background(), spec, campaign.Options{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, _ := json.Marshal(want)
+
+	for _, j := range sub.Jobs {
+		final := streamJob(t, ts, j.ID)
+		if final.State != "done" {
+			t.Fatalf("%s failed: %s", j.ID, final.Error)
+		}
+		if final.Done != final.Total || final.Total != j.Units {
+			t.Errorf("%s finished at %d/%d, submit priced %d units", j.ID, final.Done, final.Total, j.Units)
+		}
+		gotJSON, _ := json.Marshal(final.Report)
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("%s report differs from direct campaign.Run:\n--- got\n%s\n--- want\n%s", j.ID, gotJSON, wantJSON)
+		}
+	}
+}
+
+// TestHealthAndMetrics: /healthz answers ok, and the serving counters
+// show up on the telemetry mux's /metrics page.
+func TestHealthAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 1, reg: telemetry.NewRegistry()})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	sub := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	var sr submitResponse
+	if err := json.NewDecoder(sub.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	sub.Body.Close()
+	streamJob(t, ts, sr.Jobs[0].ID)
+
+	mresp, err := http.Get(ts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var m map[string]float64
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m["serve_jobs_accepted"] < 1 || m["serve_jobs_completed"] < 1 {
+		t.Errorf("metrics missing serve counters: %v", m)
+	}
+	if m["jobs_submitted"] == 0 {
+		t.Errorf("pool metrics absent from the shared registry: %v", m)
+	}
+}
+
+// TestQueueBackpressure: a batch pricing past queue-units is rejected
+// atomically with 429 + Retry-After before anything runs.
+func TestQueueBackpressure(t *testing.T) {
+	// Each test job prices 2 units; two of them exceed capacity 3.
+	_, ts := newTestServer(t, serverConfig{workers: 1, queueUnits: 3})
+	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`,`+testSpecJSON+`]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// A batch that fits is still accepted afterwards: rejection admitted
+	// nothing.
+	ok := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	defer ok.Body.Close()
+	if ok.StatusCode != http.StatusAccepted {
+		t.Fatalf("fitting batch status %d, want 202", ok.StatusCode)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(ok.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	streamJob(t, ts, sr.Jobs[0].ID)
+}
+
+// TestPerClientLimit: one client cannot hold more in-flight jobs than
+// its limit; a different client is unaffected.
+func TestPerClientLimit(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 1, perClient: 1})
+	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`,`+testSpecJSON+`]}`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(`{"jobs":[`+testSpecJSON+`]}`))
+	req.Header.Set("X-Client-ID", "other-client")
+	other, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Body.Close()
+	if other.StatusCode != http.StatusAccepted {
+		t.Fatalf("other client status %d, want 202", other.StatusCode)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(other.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	streamJob(t, ts, sr.Jobs[0].ID)
+}
+
+// TestBadRequests: invalid specs, empty batches, unknown ids, and wrong
+// methods produce the right statuses.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 1})
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodPost, "/v1/jobs", `{"jobs":[{"designs":["warp9"]}]}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{"jobs":[]}`, http.StatusBadRequest},
+		{http.MethodPost, "/v1/jobs", `{not json`, http.StatusBadRequest},
+		{http.MethodGet, "/v1/jobs", "", http.StatusMethodNotAllowed},
+		{http.MethodGet, "/v1/jobs/job-999", "", http.StatusNotFound},
+		{http.MethodPost, "/v1/jobs/job-1", "", http.StatusMethodNotAllowed},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: status %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}
+
+// TestDrainStopsAdmission: after beginDrain, submissions get 503 and
+// /healthz reports unhealthy, but already-running jobs still finish and
+// stream.
+func TestDrainStopsAdmission(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 1})
+	sub := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	var sr submitResponse
+	if err := json.NewDecoder(sub.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	sub.Body.Close()
+
+	s.beginDrain()
+	rej := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	rej.Body.Close()
+	if rej.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d, want 503", rej.StatusCode)
+	}
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: status %d, want 503", health.StatusCode)
+	}
+
+	final := streamJob(t, ts, sr.Jobs[0].ID)
+	if final.State != "done" {
+		t.Fatalf("in-flight job did not finish during drain: %+v", final)
+	}
+	s.waitIdle()
+}
+
+// TestCacheSharedAcrossJobs: with a cache directory, a repeated spec's
+// second job runs zero new simulations — the first job's golden run and
+// cells serve it.
+func TestCacheSharedAcrossJobs(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, ts := newTestServer(t, serverConfig{workers: 1, cacheDir: t.TempDir() + "/cache", reg: reg})
+	for i := 0; i < 2; i++ {
+		resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+		var sr submitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if final := streamJob(t, ts, sr.Jobs[0].ID); final.State != "done" {
+			t.Fatalf("job %d failed: %s", i, final.Error)
+		}
+	}
+	if st := s.cache.Stats(); st.Hits == 0 {
+		t.Errorf("second job hit the cache 0 times: %+v", st)
+	}
+	if n := reg.Map()["jobs_submitted"]; n != 2 {
+		t.Errorf("pool ran %v simulations, want 2 (golden + trial, once)", n)
+	}
+}

@@ -1,0 +1,372 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+
+	"pilotrf/internal/campaign"
+	"pilotrf/internal/jobs"
+	"pilotrf/internal/telemetry"
+)
+
+// serverConfig sizes the job server. The zero value is not valid; use
+// defaults() or the flag wiring in main.
+type serverConfig struct {
+	// workers is the simulation pool's worker count.
+	workers int
+	// queueUnits bounds the total admitted work, priced in simulation
+	// jobs (Spec.NumJobs): golden runs plus trials. Submissions that
+	// would exceed it get 429 + Retry-After.
+	queueUnits int
+	// perClient bounds in-flight batch jobs per client (X-Client-ID
+	// header, else the remote host).
+	perClient int
+	// cacheDir, when non-empty, persists golden runs and cells across
+	// jobs and restarts (content-addressed; corrupt entries recompute).
+	cacheDir string
+	// reg receives the serving metrics and the pool's counters, and
+	// backs the /metrics and /debug/vars pages.
+	reg *telemetry.Registry
+}
+
+// serveJob is one admitted campaign and its observable progress.
+type serveJob struct {
+	id     string
+	client string
+	units  int
+	spec   campaign.Spec
+
+	mu      sync.Mutex
+	changed chan struct{} // closed and replaced on every update
+	state   string        // "queued" | "running" | "done" | "failed"
+	done    int
+	total   int
+	report  *campaign.Report
+	errMsg  string
+}
+
+// update mutates the job under its lock and wakes every streamer.
+func (j *serveJob) update(f func()) {
+	j.mu.Lock()
+	f()
+	close(j.changed)
+	j.changed = make(chan struct{})
+	j.mu.Unlock()
+}
+
+// jobStatus is one NDJSON progress line of GET /v1/jobs/{id}.
+type jobStatus struct {
+	ID     string           `json:"id"`
+	State  string           `json:"state"`
+	Done   int              `json:"done"`
+	Total  int              `json:"total"`
+	Report *campaign.Report `json:"report,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// snapshot returns the job's current status line and the channel that
+// closes on its next change.
+func (j *serveJob) snapshot() (jobStatus, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobStatus{
+		ID: j.id, State: j.state, Done: j.done, Total: j.total,
+		Report: j.report, Error: j.errMsg,
+	}, j.changed
+}
+
+// server is the batch job service: admission control in front of one
+// shared work-stealing pool and result cache.
+type server struct {
+	cfg   serverConfig
+	mux   *http.ServeMux
+	pool  *jobs.Pool
+	cache *jobs.Cache
+
+	mu        sync.Mutex
+	seq       int
+	jobsByID  map[string]*serveJob
+	queued    int // admitted units not yet finished
+	perClient map[string]int
+	draining  bool
+	active    sync.WaitGroup
+
+	mAccepted       *telemetry.Counter
+	mCompleted      *telemetry.Counter
+	mFailed         *telemetry.Counter
+	mRejectedQueue  *telemetry.Counter
+	mRejectedClient *telemetry.Counter
+	gActive         *telemetry.Gauge
+	gQueuedUnits    *telemetry.Gauge
+}
+
+// newServer builds the service on cfg.reg's diagnostics mux. The caller
+// owns serving (httptest or net/http) and must Close the server.
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.reg == nil {
+		cfg.reg = telemetry.NewRegistry()
+	}
+	if cfg.workers <= 0 {
+		cfg.workers = jobs.DefaultWorkers()
+	}
+	if cfg.queueUnits <= 0 {
+		cfg.queueUnits = jobs.DefaultQueueDepth
+	}
+	if cfg.perClient <= 0 {
+		cfg.perClient = 8
+	}
+	pool, err := jobs.New(jobs.Config{Workers: cfg.workers, Metrics: cfg.reg})
+	if err != nil {
+		return nil, err
+	}
+	var cache *jobs.Cache
+	if cfg.cacheDir != "" {
+		if cache, err = jobs.OpenCache(cfg.cacheDir); err != nil {
+			pool.Close()
+			return nil, err
+		}
+	}
+	s := &server{
+		cfg:       cfg,
+		pool:      pool,
+		cache:     cache,
+		jobsByID:  make(map[string]*serveJob),
+		perClient: make(map[string]int),
+
+		mAccepted:       cfg.reg.Counter("serve_jobs_accepted"),
+		mCompleted:      cfg.reg.Counter("serve_jobs_completed"),
+		mFailed:         cfg.reg.Counter("serve_jobs_failed"),
+		mRejectedQueue:  cfg.reg.Counter("serve_rejected_backpressure"),
+		mRejectedClient: cfg.reg.Counter("serve_rejected_client_limit"),
+		gActive:         cfg.reg.Gauge("serve_active_jobs"),
+		gQueuedUnits:    cfg.reg.Gauge("serve_queued_units"),
+	}
+	s.mux = telemetry.NewMux(cfg.reg)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the pool. Call after the last job drained.
+func (s *server) Close() { s.pool.Close() }
+
+// beginDrain stops admitting work: new submissions get 503 and /healthz
+// reports unhealthy so load balancers stop routing here. Running jobs
+// continue; waitIdle blocks until they finish.
+func (s *server) beginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// waitIdle blocks until every admitted job has finished.
+func (s *server) waitIdle() { s.active.Wait() }
+
+// clientID identifies the submitter for the per-client limit: the
+// X-Client-ID header when present, else the remote host.
+func clientID(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Jobs []campaign.Spec `json:"jobs"`
+}
+
+// submitResponse answers an accepted batch in submission order.
+type submitResponse struct {
+	Jobs []submittedJob `json:"jobs"`
+}
+
+type submittedJob struct {
+	ID string `json:"id"`
+	// Units is the job's admission price: golden runs + trials.
+	Units int `json:"units"`
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, `empty batch: body must be {"jobs":[spec, ...]}`, http.StatusBadRequest)
+		return
+	}
+	units := make([]int, len(req.Jobs))
+	var total int
+	for i, spec := range req.Jobs {
+		n, err := spec.NumJobs()
+		if err != nil {
+			http.Error(w, fmt.Sprintf("job %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		units[i] = n
+		total += n
+	}
+	client := clientID(r)
+
+	// Admission is atomic over the whole batch: either every job is
+	// accepted or none, so callers never chase partial batches.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "draining: not accepting new jobs", http.StatusServiceUnavailable)
+		return
+	}
+	if s.perClient[client]+len(req.Jobs) > s.cfg.perClient {
+		s.mu.Unlock()
+		s.mRejectedClient.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("client %s has too many jobs in flight (limit %d)", client, s.cfg.perClient), http.StatusTooManyRequests)
+		return
+	}
+	if s.queued+total > s.cfg.queueUnits {
+		s.mu.Unlock()
+		s.mRejectedQueue.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("queue full: %d units in flight, batch needs %d, capacity %d", s.queued, total, s.cfg.queueUnits), http.StatusTooManyRequests)
+		return
+	}
+	resp := submitResponse{Jobs: make([]submittedJob, len(req.Jobs))}
+	started := make([]*serveJob, len(req.Jobs))
+	for i, spec := range req.Jobs {
+		s.seq++
+		j := &serveJob{
+			id:      fmt.Sprintf("job-%d", s.seq),
+			client:  client,
+			units:   units[i],
+			spec:    spec,
+			changed: make(chan struct{}),
+			state:   "queued",
+			total:   units[i],
+		}
+		s.jobsByID[j.id] = j
+		started[i] = j
+		resp.Jobs[i] = submittedJob{ID: j.id, Units: j.units}
+	}
+	s.queued += total
+	s.perClient[client] += len(req.Jobs)
+	s.active.Add(len(req.Jobs))
+	s.mu.Unlock()
+
+	s.gQueuedUnits.Add(int64(total))
+	s.gActive.Add(int64(len(req.Jobs)))
+	s.mAccepted.Add(uint64(len(req.Jobs)))
+	for _, j := range started {
+		go s.runJob(j)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// runJob executes one admitted campaign on the shared pool and
+// publishes its progress.
+func (s *server) runJob(j *serveJob) {
+	defer func() {
+		s.mu.Lock()
+		s.queued -= j.units
+		s.perClient[j.client]--
+		if s.perClient[j.client] == 0 {
+			delete(s.perClient, j.client)
+		}
+		s.mu.Unlock()
+		s.gQueuedUnits.Add(-int64(j.units))
+		s.gActive.Add(-1)
+		s.active.Done()
+	}()
+
+	j.update(func() { j.state = "running" })
+	rep, err := campaign.Run(context.Background(), j.spec, campaign.Options{
+		Pool:  s.pool,
+		Cache: s.cache,
+		Progress: func(done, total int) {
+			j.update(func() { j.done, j.total = done, total })
+		},
+	})
+	if err != nil {
+		s.mFailed.Inc()
+		j.update(func() { j.state = "failed"; j.errMsg = err.Error() })
+		return
+	}
+	s.mCompleted.Inc()
+	j.update(func() { j.state = "done"; j.report = &rep })
+}
+
+// handleJob streams a job's progress as NDJSON: one status line per
+// state change (coalesced), ending with the terminal line that carries
+// the report or the error.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "job id required", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobsByID[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown job "+id, http.StatusNotFound)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		st, changed := j.snapshot()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.State == "done" || st.State == "failed" {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -11,8 +11,14 @@
 //	         [-trace-out f.json] [-events-out f.ndjson] [-metrics-out f.csv]
 //	         [-energy-out f.csv] [-heatmap-out f.csv|f.json] [-audit-out f.csv|f.json]
 //	         [-record-out f.ndjson] [-record-every k] [-replay-check f.ndjson]
-//	         [-stalls] [-http :6060]
+//	         [-stalls] [-http :6060] [-parallel n]
 //	         [-fault-rate f] [-fault-seed n] [-protect none|parity|secded|paper]
+//
+// -parallel n runs the benchmarks concurrently on an n-worker
+// work-stealing pool (internal/jobs), merging the summary rows in
+// canonical order so the output is byte-identical to -parallel 1. It is
+// a usage error combined with the shared-observer outputs below, which
+// tee one stream across the whole benchmark loop.
 //
 // Observability: -trace-out writes a Chrome/Perfetto trace_event JSON
 // file (open in ui.perfetto.dev), -events-out streams raw events as
@@ -49,6 +55,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +68,7 @@ import (
 	"pilotrf/internal/energy"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
+	"pilotrf/internal/jobs"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
@@ -150,6 +158,59 @@ func (t *countingTracer) Event(e sim.TraceEvent) {
 // failures' 1.
 type usageError struct{ error }
 
+// printResult renders one benchmark's results: the summary row plus the
+// optional fault, per-kernel, and stall sections. Both the sequential
+// loop and the -parallel path render through it, so the merged parallel
+// output is byte-identical to a sequential run.
+func printResult(wr io.Writer, cfg sim.Config, scheme fault.Scheme, w workloads.Workload, rs sim.RunStats, verbose, stalls bool) {
+	// Compiler-vs-oracle top-4 capture gap (Figure 4's category axis).
+	var cgap, totalW float64
+	for ki, k := range w.Kernels {
+		h := rs.Kernels[ki].RegHist
+		top := profile.CompilerTopN(k.Prog, 4)
+		keys := make([]int, len(top))
+		for i, r := range top {
+			keys[i] = int(r)
+		}
+		wgt := float64(h.Total())
+		cgap += (h.TopNShare(4) - h.Share(keys)) * wgt
+		totalW += wgt
+	}
+	if totalW > 0 {
+		cgap /= totalW
+	}
+	pilotFrac := 0.0
+	if len(rs.Kernels) > 0 {
+		pilotFrac = rs.Kernels[0].PilotFraction
+	}
+	var lowShare float64
+	parts := rs.PartAccesses()
+	if frf := parts[regfile.PartFRFHigh] + parts[regfile.PartFRFLow]; frf > 0 {
+		lowShare = float64(parts[regfile.PartFRFLow]) / float64(frf)
+	}
+	fmt.Fprintf(wr, "%-10s %9d %8d %6.2f %6.2f %6.2f %7.2f %7.2f %7.2f %7.2f\n",
+		w.Name, rs.TotalCycles(), rs.TotalAccesses(),
+		rs.TopNShareByKernel(3), rs.TopNShareByKernel(4), rs.TopNShareByKernel(5),
+		rs.FRFShare()*100, lowShare*100, pilotFrac*100, cgap)
+	if cfg.Fault != nil {
+		ft := rs.FaultTotals()
+		fmt.Fprintf(wr, "    faults[%s]: injected=%d corrected=%d retried=%d silent=%d cam-corrupt=%d\n",
+			scheme, ft.TotalInjected(), ft.Corrected, ft.DetectedRetry, ft.SilentReads, ft.CAMCorrupted)
+	}
+	if verbose {
+		for _, ks := range rs.Kernels {
+			fmt.Fprintf(wr, "    %-28s cycles=%-8d instrs=%-8d util=%.2f FRF=%.2f pilot=%.2f simt=%.2f colstall=%d bankq=%.2f\n",
+				ks.Name, ks.Cycles, ks.WarpInstrs, ks.IssueUtilization(), ks.FRFShare(), ks.PilotFraction,
+				ks.SIMTEfficiency(), ks.CollectorStalls, ks.AvgBankQueue(cfg.RF.Banks))
+		}
+	}
+	if stalls {
+		bd, busy, smCycles := rs.StallTotals()
+		fmt.Fprintf(wr, "\n%s stall attribution (SM-cycles=%d busy=%d stalled=%d):\n%s\n",
+			w.Name, smCycles, busy, smCycles-busy, bd.Table())
+	}
+}
+
 // errInterrupted reports a SIGINT/SIGTERM shutdown: the benchmarks that
 // completed were printed and every requested output file was flushed.
 // It maps to exit code 3 so callers can tell a clean partial run from a
@@ -195,9 +256,24 @@ func run(args []string, stdout io.Writer) error {
 		faultRate   = fs.Float64("fault-rate", 0, "inject soft errors at this rate (upsets/bit/cycle at STV; 0 = off)")
 		faultSeed   = fs.Uint64("fault-seed", 1, "fault-injection seed")
 		protect     = fs.String("protect", "none", "RF protection scheme: none | parity | secded | paper")
+		parallel    = fs.Int("parallel", 1, "run benchmarks concurrently on N pool workers (same bytes as 1; incompatible with shared-observer outputs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel <= 0 {
+		return usageError{fmt.Errorf("parallel must be positive, got %d", *parallel)}
+	}
+	if *parallel > 1 {
+		// The observability exporters tee one shared stream (or ledger,
+		// or recorder) across the whole benchmark loop; running
+		// benchmarks concurrently would interleave them. Summary rows
+		// merge deterministically, observer streams do not.
+		if *traceN > 0 || *traceOut != "" || *eventsOut != "" || *metricsCSV != "" ||
+			*energyOut != "" || *heatmapOut != "" || *auditOut != "" ||
+			*recordOut != "" || *replayCheck != "" || *httpAddr != "" {
+			return usageError{fmt.Errorf("-parallel %d is incompatible with shared-observer outputs (-trace, -trace-out, -events-out, -metrics-out, -energy-out, -heatmap-out, -audit-out, -record-out, -replay-check, -http); rerun with -parallel 1", *parallel)}
+		}
 	}
 
 	cfg := sim.DefaultConfig()
@@ -349,75 +425,90 @@ func run(args []string, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "%-10s %9s %8s %6s %6s %6s %7s %7s %7s %7s\n",
 		"bench", "cycles", "accesses", "top3", "top4", "top5", "FRF%", "low%", "pilot%", "cgap")
-	for _, w := range wls {
-		select {
-		case <-sigc:
-			interrupted = true
-		default:
-		}
-		if interrupted {
-			break
-		}
-		w = w.Scale(*scale)
-		g, err := sim.New(cfg)
+	if *parallel > 1 {
+		// Each benchmark runs as an independent pool task rendering into
+		// its own buffer; the buffers print in submission order, so the
+		// output is byte-identical to a sequential run. SIGINT/SIGTERM
+		// cancels the batch: running benchmarks finish, pending ones are
+		// skipped, and the completed prefix still prints.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() {
+			select {
+			case <-sigc:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		pool, err := jobs.New(jobs.Config{Workers: *parallel})
 		if err != nil {
 			return err
 		}
-		rs, err := g.RunKernels(w.Name, w.Kernels)
+		defer pool.Close()
+		tasks := make([]jobs.Task, len(wls))
+		for i, w := range wls {
+			w := w.Scale(*scale)
+			tasks[i] = func(context.Context) (interface{}, error) {
+				g, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rs, err := g.RunKernels(w.Name, w.Kernels)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", w.Name, err)
+				}
+				var buf strings.Builder
+				printResult(&buf, cfg, scheme, w, rs, *verbose, *stalls)
+				return buf.String(), nil
+			}
+		}
+		batch, err := pool.Submit(ctx, tasks)
 		if err != nil {
-			return fmt.Errorf("%s: %w", w.Name, err)
-		}
-		if led != nil {
-			for p, n := range rs.PartAccesses() {
-				ledgerParts[p] += n
+			if errors.Is(err, context.Canceled) {
+				return errInterrupted
 			}
-			ledgerCycles += rs.TotalCycles()
+			return err
 		}
-		// Compiler-vs-oracle top-4 capture gap (Figure 4's category axis).
-		var cgap, totalW float64
-		for ki, k := range w.Kernels {
-			h := rs.Kernels[ki].RegHist
-			top := profile.CompilerTopN(k.Prog, 4)
-			keys := make([]int, len(top))
-			for i, r := range top {
-				keys[i] = int(r)
+		// Wait on the background context: after a cancellation the
+		// pending tasks finish instantly with the context error, and
+		// the completed prefix below still prints.
+		results, _ := batch.Wait(context.Background())
+		for _, r := range results {
+			if errors.Is(r.Err, context.Canceled) {
+				interrupted = true
+				break
 			}
-			wgt := float64(h.Total())
-			cgap += (h.TopNShare(4) - h.Share(keys)) * wgt
-			totalW += wgt
-		}
-		if totalW > 0 {
-			cgap /= totalW
-		}
-		pilotFrac := 0.0
-		if len(rs.Kernels) > 0 {
-			pilotFrac = rs.Kernels[0].PilotFraction
-		}
-		var lowShare float64
-		parts := rs.PartAccesses()
-		if frf := parts[regfile.PartFRFHigh] + parts[regfile.PartFRFLow]; frf > 0 {
-			lowShare = float64(parts[regfile.PartFRFLow]) / float64(frf)
-		}
-		fmt.Fprintf(stdout, "%-10s %9d %8d %6.2f %6.2f %6.2f %7.2f %7.2f %7.2f %7.2f\n",
-			w.Name, rs.TotalCycles(), rs.TotalAccesses(),
-			rs.TopNShareByKernel(3), rs.TopNShareByKernel(4), rs.TopNShareByKernel(5),
-			rs.FRFShare()*100, lowShare*100, pilotFrac*100, cgap)
-		if cfg.Fault != nil {
-			ft := rs.FaultTotals()
-			fmt.Fprintf(stdout, "    faults[%s]: injected=%d corrected=%d retried=%d silent=%d cam-corrupt=%d\n",
-				scheme, ft.TotalInjected(), ft.Corrected, ft.DetectedRetry, ft.SilentReads, ft.CAMCorrupted)
-		}
-		if *verbose {
-			for _, ks := range rs.Kernels {
-				fmt.Fprintf(stdout, "    %-28s cycles=%-8d instrs=%-8d util=%.2f FRF=%.2f pilot=%.2f simt=%.2f colstall=%d bankq=%.2f\n",
-					ks.Name, ks.Cycles, ks.WarpInstrs, ks.IssueUtilization(), ks.FRFShare(), ks.PilotFraction,
-					ks.SIMTEfficiency(), ks.CollectorStalls, ks.AvgBankQueue(cfg.RF.Banks))
+			if r.Err != nil {
+				return r.Err
 			}
+			io.WriteString(stdout, r.Value.(string))
 		}
-		if *stalls {
-			bd, busy, smCycles := rs.StallTotals()
-			fmt.Fprintf(stdout, "\n%s stall attribution (SM-cycles=%d busy=%d stalled=%d):\n%s\n",
-				w.Name, smCycles, busy, smCycles-busy, bd.Table())
+	} else {
+		for _, w := range wls {
+			select {
+			case <-sigc:
+				interrupted = true
+			default:
+			}
+			if interrupted {
+				break
+			}
+			w = w.Scale(*scale)
+			g, err := sim.New(cfg)
+			if err != nil {
+				return err
+			}
+			rs, err := g.RunKernels(w.Name, w.Kernels)
+			if err != nil {
+				return fmt.Errorf("%s: %w", w.Name, err)
+			}
+			if led != nil {
+				for p, n := range rs.PartAccesses() {
+					ledgerParts[p] += n
+				}
+				ledgerCycles += rs.TotalCycles()
+			}
+			printResult(stdout, cfg, scheme, w, rs, *verbose, *stalls)
 		}
 	}
 

@@ -189,3 +189,48 @@ func TestInterruptFlushesAndExits3(t *testing.T) {
 		t.Error("metrics CSV flushed empty")
 	}
 }
+
+// TestParallelByteIdentical runs the same multi-benchmark sweep
+// sequentially and on a 4-worker pool; the stdout bytes must match
+// exactly (the parallel path merges per-benchmark buffers in canonical
+// order).
+func TestParallelByteIdentical(t *testing.T) {
+	args := []string{"-bench", "", "-scale", "0.05", "-sms", "1", "-v",
+		"-fault-rate", "2e-11", "-protect", "secded"}
+	var seq, par bytes.Buffer
+	if err := run(append([]string{"-parallel", "1"}, args...), &seq); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	if err := run(append([]string{"-parallel", "4"}, args...), &par); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel output differs from sequential:\n--- seq\n%s\n--- par\n%s",
+			seq.String(), par.String())
+	}
+	if n := strings.Count(par.String(), "\n"); n < 10 {
+		t.Fatalf("suspiciously short sweep output (%d lines):\n%s", n, par.String())
+	}
+}
+
+// TestParallelRejectsSharedObservers: -parallel > 1 combined with an
+// exporter that tees one stream across benchmarks is a usage error, and
+// no output file may be left behind.
+func TestParallelRejectsSharedObservers(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-bench", "sgemm", "-parallel", "2", "-trace-out", trace}, &out)
+	if err == nil {
+		t.Fatal("parallel run with -trace-out succeeded")
+	}
+	if _, ok := err.(usageError); !ok {
+		t.Fatalf("error %v is %T, want usageError", err, err)
+	}
+	if _, statErr := os.Stat(trace); !os.IsNotExist(statErr) {
+		t.Errorf("rejected run left %s behind", trace)
+	}
+	if err := run([]string{"-parallel", "0"}, &out); err == nil {
+		t.Fatal("-parallel 0 accepted")
+	}
+}

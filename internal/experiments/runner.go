@@ -8,11 +8,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"pilotrf/internal/isa"
+	"pilotrf/internal/jobs"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
@@ -30,6 +31,11 @@ type Runner struct {
 	Scale float64
 	// SMs is the simulated SM count (2 = the tuned default).
 	SMs int
+	// Workers is the worker count Warm uses for its jobs.Pool
+	// (<= 0 selects one per core). Results are identical for any
+	// value — the pool merges deterministically and every run is
+	// independent — so this only trades wall-clock for cores.
+	Workers int
 
 	mu       sync.Mutex
 	cache    map[string]sim.RunStats
@@ -98,15 +104,16 @@ func (r *Runner) run(w workloads.Workload, cfg sim.Config, key string) sim.RunSt
 }
 
 // Warm fills the cache for the configurations the standard experiment set
-// reads, running them across all CPU cores. Experiments afterwards hit
-// the cache; results are identical to sequential execution (every run is
+// reads, running them on a work-stealing jobs.Pool with Workers workers
+// (one per core by default). Experiments afterwards hit the cache;
+// results are identical to sequential execution (every run is
 // deterministic and independent).
 func (r *Runner) Warm() {
 	type job struct {
 		cfg func() sim.Config
 		key string
 	}
-	jobs := []job{
+	warmJobs := []job{
 		{func() sim.Config { return r.baseConfig().WithDesign(regfile.DesignMonolithicSTV) }, "base-stv-gto"},
 		{func() sim.Config { return r.baseConfig().WithDesign(regfile.DesignMonolithicNTV) }, "base-ntv-gto"},
 		{func() sim.Config {
@@ -150,20 +157,27 @@ func (r *Runner) Warm() {
 			return c
 		}, "part-adaptive-hybrid-lrr"},
 	}
-	sem := make(chan struct{}, runtime.NumCPU())
-	var wg sync.WaitGroup
-	for _, w := range workloads.All() {
-		for _, j := range jobs {
-			wg.Add(1)
-			go func(w workloads.Workload, j job) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				r.run(w, j.cfg(), j.key)
-			}(w, j)
-		}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = jobs.DefaultWorkers()
 	}
-	wg.Wait()
+	pool, err := jobs.New(jobs.Config{Workers: workers})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	defer pool.Close()
+	all := workloads.All()
+	if _, err := jobs.Map(context.Background(), pool, len(all)*len(warmJobs),
+		func(ctx context.Context, i int) (interface{}, error) {
+			w := all[i/len(warmJobs)]
+			j := warmJobs[i%len(warmJobs)]
+			r.run(w, j.cfg(), j.key)
+			return nil, nil
+		}); err != nil {
+		// r.run panics on simulator errors; the pool converts those to
+		// task errors, and Warm restores the historical fail-fast.
+		panic(fmt.Sprintf("experiments: warm: %v", err))
+	}
 }
 
 // runPerKernelOracle runs a workload under the oracle technique, giving

@@ -31,6 +31,31 @@ func TestWarmParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestWarmWorkerCountInvariant runs the warm pass on a single-worker
+// pool and a four-worker pool; the cached results must match exactly,
+// so -parallel N only changes wall-clock, never numbers.
+func TestWarmWorkerCountInvariant(t *testing.T) {
+	one := NewRunner(0.05, 1)
+	one.Workers = 1
+	one.Warm()
+	four := NewRunner(0.05, 1)
+	four.Workers = 4
+	four.Warm()
+	if len(one.cache) != len(four.cache) {
+		t.Fatalf("cache sizes differ: %d vs %d", len(one.cache), len(four.cache))
+	}
+	for key, a := range one.cache {
+		b, ok := four.cache[key]
+		if !ok {
+			t.Fatalf("key %q missing from 4-worker cache", key)
+		}
+		if a.TotalCycles() != b.TotalCycles() || a.TotalAccesses() != b.TotalAccesses() {
+			t.Errorf("%s: worker count changed results (%d/%d vs %d/%d)",
+				key, a.TotalCycles(), a.TotalAccesses(), b.TotalCycles(), b.TotalAccesses())
+		}
+	}
+}
+
 // TestRunConcurrentDuplicates hammers one key from many goroutines; the
 // in-flight deduplication must produce one simulation and identical
 // results for every caller.

@@ -75,16 +75,40 @@ func (p *DigestProbe) Digest(kernel int) KernelDigest {
 // mismatch (the faulty run aborted early) counts as divergence at the
 // first missing kernel.
 func (p *DigestProbe) Diverged(golden *DigestProbe) (int, bool) {
+	return p.DivergedFromDigests(golden.Digests())
+}
+
+// Digests returns the per-kernel digests in kernel order — the
+// serializable snapshot of a golden run that the campaign result cache
+// persists, so later invocations compare trials against the stored
+// digests without re-running the fault-free simulation.
+func (p *DigestProbe) Digests() []KernelDigest {
+	out := make([]KernelDigest, p.Kernels())
+	for k := range out {
+		out[k] = p.Digest(k)
+	}
+	return out
+}
+
+// DivergedFromDigests compares the probe against a stored golden
+// snapshot (see Digests), with the same semantics as Diverged: the
+// first mismatching kernel, and a kernel-count mismatch counting as
+// divergence at the first missing kernel.
+func (p *DigestProbe) DivergedFromDigests(golden []KernelDigest) (int, bool) {
 	n := p.Kernels()
-	if g := golden.Kernels(); g > n {
+	if g := len(golden); g > n {
 		n = g
 	}
 	for k := 0; k < n; k++ {
-		if p.Digest(k) != golden.Digest(k) {
+		var gd KernelDigest
+		if k < len(golden) {
+			gd = golden[k]
+		}
+		if p.Digest(k) != gd {
 			return k, true
 		}
 	}
-	if p.Kernels() != golden.Kernels() {
+	if p.Kernels() != len(golden) {
 		return n, true
 	}
 	return -1, false

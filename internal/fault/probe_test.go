@@ -71,3 +71,45 @@ func TestProbeImplementsSink(t *testing.T) {
 		t.Error("probe checksum interval must be positive")
 	}
 }
+
+// TestDigestsSnapshotRoundTrip: Digests() captures what Diverged
+// compares, so a probe checked against its own snapshot agrees, a
+// mutated snapshot diverges at the right kernel, and snapshot-based
+// comparison matches probe-based comparison on every shape.
+func TestDigestsSnapshotRoundTrip(t *testing.T) {
+	p := feed([][][2]uint64{
+		{{10, 4}, {20, 6}},
+		{{7, 2}},
+	})
+	snap := p.Digests()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot of %d kernels, want 2", len(snap))
+	}
+	if k, div := p.DivergedFromDigests(snap); div {
+		t.Fatalf("probe diverges from its own snapshot at kernel %d", k)
+	}
+	mutated := append([]KernelDigest(nil), snap...)
+	mutated[1].Hash++
+	if k, div := p.DivergedFromDigests(mutated); !div || k != 1 {
+		t.Fatalf("mutated snapshot: (%d, %v), want divergence at kernel 1", k, div)
+	}
+	// Snapshot shorter than the run (golden aborted earlier than trial).
+	if k, div := p.DivergedFromDigests(snap[:1]); !div || k != 1 {
+		t.Fatalf("short snapshot: (%d, %v), want divergence at kernel 1", k, div)
+	}
+	// Snapshot longer than the run (trial aborted early).
+	longer := append(append([]KernelDigest(nil), snap...), KernelDigest{Hash: 1, Reads: 1})
+	if _, div := p.DivergedFromDigests(longer); !div {
+		t.Fatal("long snapshot did not diverge")
+	}
+	// Probe-vs-probe must agree with probe-vs-snapshot.
+	q := feed([][][2]uint64{
+		{{10, 4}, {20, 6}},
+		{{8, 2}},
+	})
+	pk, pdiv := q.Diverged(p)
+	sk, sdiv := q.DivergedFromDigests(p.Digests())
+	if pk != sk || pdiv != sdiv {
+		t.Fatalf("probe (%d,%v) and snapshot (%d,%v) comparisons disagree", pk, pdiv, sk, sdiv)
+	}
+}

@@ -1,0 +1,231 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheSchema versions the on-disk entry envelope; bump on incompatible
+// change and every existing entry silently becomes a miss.
+const CacheSchema = "pilotrf-jobcache/v1"
+
+// Key is a content-addressed job identity: an FNV-1a 64-bit hash over a
+// canonical preimage string built from every input the job's result
+// depends on (design configuration, workload, seeds, schema versions).
+// The preimage rides along so the cache can reject hash collisions and
+// callers can log what a key means.
+type Key struct {
+	sum uint64
+	pre string
+}
+
+// Hex returns the 16-digit lowercase hash, the cache's file stem.
+func (k Key) Hex() string { return fmt.Sprintf("%016x", k.sum) }
+
+// Preimage returns the canonical string the key hashes.
+func (k Key) Preimage() string { return k.pre }
+
+// String implements fmt.Stringer.
+func (k Key) String() string { return k.Hex() }
+
+// FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// KeyBuilder accumulates named fields into a canonical preimage and its
+// FNV-1a hash. Field order is significant: callers must always build a
+// given key kind with the same field sequence, which also means adding a
+// field (a version bump, a new input) changes every key — stale entries
+// then miss instead of poisoning results.
+type KeyBuilder struct {
+	sum uint64
+	pre []byte
+}
+
+// NewKey starts a key.
+func NewKey() *KeyBuilder {
+	return &KeyBuilder{sum: fnvOffset}
+}
+
+// Field appends one name=value pair. Name/value are separated from other
+// fields by a NUL, which cannot appear in the flag-derived values the
+// keys are built from, so distinct field lists never collide textually.
+func (b *KeyBuilder) Field(name, value string) *KeyBuilder {
+	b.write(name)
+	b.write("=")
+	b.write(value)
+	b.write("\x00")
+	return b
+}
+
+// Uint appends an unsigned integer field.
+func (b *KeyBuilder) Uint(name string, v uint64) *KeyBuilder {
+	return b.Field(name, fmt.Sprintf("%d", v))
+}
+
+// Int appends a signed integer field.
+func (b *KeyBuilder) Int(name string, v int64) *KeyBuilder {
+	return b.Field(name, fmt.Sprintf("%d", v))
+}
+
+// Float appends a float field in the shortest round-trippable form.
+func (b *KeyBuilder) Float(name string, v float64) *KeyBuilder {
+	return b.Field(name, fmt.Sprintf("%g", v))
+}
+
+func (b *KeyBuilder) write(s string) {
+	for i := 0; i < len(s); i++ {
+		b.sum ^= uint64(s[i])
+		b.sum *= fnvPrime
+	}
+	b.pre = append(b.pre, s...)
+}
+
+// Sum finalizes the key.
+func (b *KeyBuilder) Sum() Key {
+	return Key{sum: b.sum, pre: string(b.pre)}
+}
+
+// CacheStats counts cache traffic since Open.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Corrupt uint64 `json:"corrupt"`
+	Puts    uint64 `json:"puts"`
+}
+
+// Cache is a content-addressed result store: one JSON file per key under
+// a directory, written atomically (temp file + rename) so an interrupted
+// campaign never leaves a truncated entry that a resume would trip over.
+//
+// Loads are corruption-tolerant by contract: an unreadable file, a
+// schema or preimage mismatch, or an undecodable payload makes Get
+// report a miss (counted in Stats().Corrupt) — the caller recomputes and
+// overwrites, it never crashes. A nil *Cache is a valid no-op cache, so
+// call sites need no "-cache-dir set?" branches.
+type Cache struct {
+	dir string
+
+	mu    sync.Mutex
+	stats CacheStats
+}
+
+// cacheEntry is the on-disk envelope. Storing the full preimage makes
+// hash collisions detectable: a Get whose preimage disagrees with the
+// stored one is treated as a miss rather than returning the colliding
+// job's payload.
+type cacheEntry struct {
+	Schema   string          `json:"schema"`
+	Key      string          `json:"key"`
+	Preimage string          `json:"preimage"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// OpenCache creates dir if needed and returns the cache over it.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache directory ("" for a nil cache).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+func (c *Cache) path(key Key) string {
+	return filepath.Join(c.dir, key.Hex()+".json")
+}
+
+// Get loads the entry for key into out (a JSON-decodable pointer),
+// reporting whether it hit. Every failure mode — missing file, torn
+// write, foreign JSON, schema bump, hash collision, payload mismatch —
+// is a miss, never an error.
+func (c *Cache) Get(key Key, out interface{}) bool {
+	if c == nil {
+		return false
+	}
+	buf, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.count(func(s *CacheStats) { s.Misses++ })
+		return false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(buf, &ent); err != nil ||
+		ent.Schema != CacheSchema || ent.Key != key.Hex() || ent.Preimage != key.Preimage() {
+		c.count(func(s *CacheStats) { s.Misses++; s.Corrupt++ })
+		return false
+	}
+	if err := json.Unmarshal(ent.Payload, out); err != nil {
+		c.count(func(s *CacheStats) { s.Misses++; s.Corrupt++ })
+		return false
+	}
+	c.count(func(s *CacheStats) { s.Hits++ })
+	return true
+}
+
+// Put stores v under key atomically. Unlike Get, write failures are real
+// errors: a cache the operator asked for that cannot persist anything
+// should be heard about.
+func (c *Cache) Put(key Key, v interface{}) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("jobs: encoding cache payload: %w", err)
+	}
+	ent := cacheEntry{Schema: CacheSchema, Key: key.Hex(), Preimage: key.Preimage(), Payload: payload}
+	buf, err := json.MarshalIndent(ent, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: encoding cache entry: %w", err)
+	}
+	buf = append(buf, '\n')
+	tmp, err := os.CreateTemp(c.dir, key.Hex()+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: cache write: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: cache write: %w", err)
+	}
+	c.count(func(s *CacheStats) { s.Puts++ })
+	return nil
+}
+
+// Stats returns the traffic counters (zero for a nil cache).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) count(f func(*CacheStats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

@@ -1,0 +1,190 @@
+package jobs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name   string `json:"name"`
+	Cycles int64  `json:"cycles"`
+}
+
+func testKey(version string) Key {
+	return NewKey().
+		Field("schema", version).
+		Field("design", "part-adaptive").
+		Field("workload", "sgemm").
+		Float("scale", 0.05).
+		Int("sms", 2).
+		Uint("seed", 42).
+		Sum()
+}
+
+// TestKeyDeterminismAndSensitivity: equal inputs hash equal; any single
+// field change — including a schema version bump — changes the key.
+func TestKeyDeterminismAndSensitivity(t *testing.T) {
+	base := testKey("v1")
+	if again := testKey("v1"); again != base {
+		t.Fatal("identical inputs produced different keys")
+	}
+	variants := []Key{
+		testKey("v2"), // version bump invalidates
+		NewKey().Field("schema", "v1").Field("design", "part").Float("scale", 0.05).Int("sms", 2).Uint("seed", 42).Sum(),
+		NewKey().Field("schema", "v1").Field("design", "part-adaptive").Float("scale", 0.05).Int("sms", 2).Uint("seed", 43).Sum(),
+	}
+	for i, v := range variants {
+		if v.Hex() == base.Hex() {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	if len(base.Hex()) != 16 {
+		t.Errorf("key hex %q not 16 digits", base.Hex())
+	}
+	if !strings.Contains(base.Preimage(), "workload=sgemm") {
+		t.Errorf("preimage %q lost a field", base.Preimage())
+	}
+}
+
+// TestCacheRoundTrip: Put then Get returns the payload; a different key
+// misses; stats track both.
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("v1")
+	want := payload{Name: "sgemm", Cycles: 123456}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !c.Get(key, &got) {
+		t.Fatal("fresh entry missed")
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if c.Get(testKey("v2"), &got) {
+		t.Fatal("version-bumped key hit a v1 entry")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+// TestCacheCorruptionTolerance: every corrupted-entry shape loads as a
+// miss (recompute), never as an error or a wrong payload.
+func TestCacheCorruptionTolerance(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("v1")
+	if err := c.Put(key, payload{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key.Hex()+".json")
+
+	corruptions := map[string]string{
+		"truncated":        `{"schema": "pilotrf-jobcache/v1", "key": "`,
+		"not json":         "hello\x00world",
+		"empty":            "",
+		"schema mismatch":  `{"schema": "pilotrf-jobcache/v999", "key": "` + key.Hex() + `", "preimage": ` + jsonString(key.Preimage()) + `, "payload": {"name":"evil"}}`,
+		"payload mismatch": `{"schema": "pilotrf-jobcache/v1", "key": "` + key.Hex() + `", "preimage": ` + jsonString(key.Preimage()) + `, "payload": [1,2,3]}`,
+	}
+	for name, body := range corruptions {
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got payload
+		if c.Get(key, &got) {
+			t.Errorf("%s: corrupted entry returned a hit (%+v)", name, got)
+		}
+	}
+	if st := c.Stats(); st.Corrupt != uint64(len(corruptions)) {
+		t.Errorf("corrupt count %d, want %d", st.Corrupt, len(corruptions))
+	}
+
+	// Recompute-and-overwrite heals the entry.
+	if err := c.Put(key, payload{Name: "healed"}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !c.Get(key, &got) || got.Name != "healed" {
+		t.Fatalf("healed entry not readable: %+v", got)
+	}
+}
+
+// TestCacheCollisionDetected: an entry whose stored preimage differs
+// from the requested key's — the on-disk shape of an FNV collision — is
+// a miss, not a silent wrong answer.
+func TestCacheCollisionDetected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("v1")
+	// Forge a colliding entry: same hash file, different preimage.
+	ent := map[string]interface{}{
+		"schema":   CacheSchema,
+		"key":      key.Hex(),
+		"preimage": "some-other-job\x00",
+		"payload":  payload{Name: "collider", Cycles: 999},
+	}
+	buf, err := json.Marshal(ent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key.Hex()+".json"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if c.Get(key, &got) {
+		t.Fatalf("colliding entry returned a hit: %+v", got)
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Errorf("collision not counted as corrupt: %+v", st)
+	}
+}
+
+// TestNilCacheIsNoOp: a nil *Cache disables caching without branches at
+// call sites.
+func TestNilCacheIsNoOp(t *testing.T) {
+	var c *Cache
+	if c.Get(testKey("v1"), &payload{}) {
+		t.Error("nil cache hit")
+	}
+	if err := c.Put(testKey("v1"), payload{}); err != nil {
+		t.Errorf("nil cache Put errored: %v", err)
+	}
+	if c.Dir() != "" || c.Stats() != (CacheStats{}) {
+		t.Error("nil cache not inert")
+	}
+}
+
+// TestOpenCacheCreatesDir: OpenCache mkdir -p's nested paths and rejects
+// the empty string.
+func TestOpenCacheCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "c")
+	if _, err := OpenCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		t.Fatalf("cache dir not created: %v", err)
+	}
+	if _, err := OpenCache(""); err == nil {
+		t.Error("empty cache dir accepted")
+	}
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

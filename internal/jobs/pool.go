@@ -1,0 +1,457 @@
+// Package jobs is the repository's deterministic parallel execution
+// engine: a work-stealing worker pool that runs independent simulation
+// cells concurrently while merging their results in canonical submission
+// order, plus a content-addressed on-disk result cache keyed by FNV-1a
+// job hashes (see cache.go).
+//
+// Determinism is the design constraint everything else bends around.
+// Every task is an independent, pure computation (a seeded simulation),
+// so execution order cannot change any individual result; the pool then
+// guarantees that a Batch exposes its results indexed by submission
+// position, never by completion order. A campaign driver that formats
+// results by walking the batch in order therefore produces output
+// byte-identical to a sequential loop, whatever interleaving the workers
+// chose — the property cmd/faultcampaign's and cmd/pilotsim's regression
+// tests pin down.
+//
+// The pool is a classic work-stealing scheduler in the Blumofe/Leiserson
+// shape: each worker owns a deque of task chunks, pushes and pops at the
+// back (LIFO, for cache locality on freshly submitted work), and steals
+// from the front of a victim's deque (FIFO, taking the oldest — and
+// therefore largest-remaining — chunks) when its own runs dry. Batches
+// are split into chunks and dealt round-robin across the deques at
+// submission, so even a single large batch starts on all cores without
+// any stealing at all; stealing only pays for tail imbalance, which is
+// exactly where simulation cells (whose runtimes vary by orders of
+// magnitude across workloads) need it.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"pilotrf/internal/telemetry"
+)
+
+// Task is one unit of work. Tasks must be independent of one another and
+// respect ctx cancellation if they run long. The returned value lands in
+// the batch's Result slot at the task's submission index.
+type Task func(ctx context.Context) (interface{}, error)
+
+// Result is a task's outcome: exactly one of Value and Err is meaningful.
+type Result struct {
+	Value interface{}
+	Err   error
+}
+
+// ErrQueueFull reports that a TrySubmit would exceed the pool's bounded
+// queue. Callers translate it into backpressure (cmd/pilotserve answers
+// HTTP 429 with Retry-After).
+var ErrQueueFull = errors.New("jobs: queue full")
+
+// ErrClosed reports a submission to a closed pool.
+var ErrClosed = errors.New("jobs: pool closed")
+
+// PanicError wraps a panic recovered from a task so one faulty cell
+// cannot take down the whole campaign: the panicking task's Result
+// carries the PanicError, every other task completes normally, and the
+// worker that caught it keeps serving.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value interface{}
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("jobs: task panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// DefaultQueueDepth bounds outstanding (submitted, unfinished) tasks
+// when Config.QueueDepth is zero.
+const DefaultQueueDepth = 4096
+
+// Config sizes a Pool.
+type Config struct {
+	// Workers is the number of worker goroutines. Zero or negative is a
+	// configuration error (use runtime.GOMAXPROCS(0) explicitly for
+	// "one per core"); a deliberately sequential pool has Workers == 1.
+	Workers int
+	// QueueDepth bounds the outstanding tasks across all batches:
+	// Submit blocks (and TrySubmit fails) while a new batch would push
+	// the outstanding count past it. Zero selects DefaultQueueDepth.
+	QueueDepth int
+	// ChunkSize is the number of tasks per deque chunk. Zero sizes
+	// chunks automatically (batch/(4*workers), minimum 1) so a batch
+	// spreads across every worker with stealable remainders.
+	ChunkSize int
+	// Metrics, when set, registers the pool's counters and gauges
+	// (jobs_submitted, jobs_completed, jobs_panics, jobs_steals,
+	// jobs_queued, jobs_running) in the registry, so a live telemetry
+	// endpoint exposes queue pressure.
+	Metrics *telemetry.Registry
+}
+
+// Pool is a work-stealing worker pool. Create with New, submit batches
+// with Submit/TrySubmit, and stop it with Close.
+type Pool struct {
+	workers    int
+	queueDepth int
+	chunkSize  int
+
+	mu          sync.Mutex
+	cond        *sync.Cond // guards deques/outstanding; signals work and space
+	deques      []dequeSlot
+	nextDeque   int // round-robin deal position
+	outstanding int // submitted, not yet finished
+	closed      bool
+
+	wg sync.WaitGroup
+
+	// Metrics (nil-safe: only touched when configured).
+	cSubmitted *telemetry.Counter
+	cCompleted *telemetry.Counter
+	cPanics    *telemetry.Counter
+	cSteals    *telemetry.Counter
+	gQueued    *telemetry.Gauge
+	gRunning   *telemetry.Gauge
+}
+
+// dequeSlot is one worker's chunk deque. The front (index 0) is the
+// steal side; the back is the owner side.
+type dequeSlot struct {
+	chunks []chunk
+}
+
+// chunk is a contiguous range [lo, hi) of one batch's tasks.
+type chunk struct {
+	b      *Batch
+	lo, hi int
+}
+
+// Batch tracks one submission. Results are indexed by submission
+// position regardless of execution order.
+type Batch struct {
+	ctx     context.Context
+	pool    *Pool
+	tasks   []Task
+	results []Result
+	done    atomic.Int64
+	total   int
+	fin     chan struct{}
+}
+
+// New validates cfg and starts the workers.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("jobs: %d workers (a pool needs at least one; use runtime.GOMAXPROCS(0) for one per core)", cfg.Workers)
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("jobs: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.ChunkSize < 0 {
+		return nil, fmt.Errorf("jobs: negative chunk size %d", cfg.ChunkSize)
+	}
+	p := &Pool{
+		workers:    cfg.Workers,
+		queueDepth: cfg.QueueDepth,
+		chunkSize:  cfg.ChunkSize,
+		deques:     make([]dequeSlot, cfg.Workers),
+	}
+	if p.queueDepth == 0 {
+		p.queueDepth = DefaultQueueDepth
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if reg := cfg.Metrics; reg != nil {
+		p.cSubmitted = reg.Counter("jobs_submitted")
+		p.cCompleted = reg.Counter("jobs_completed")
+		p.cPanics = reg.Counter("jobs_panics")
+		p.cSteals = reg.Counter("jobs_steals")
+		p.gQueued = reg.Gauge("jobs_queued")
+		p.gRunning = reg.Gauge("jobs_running")
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go p.worker(i)
+	}
+	return p, nil
+}
+
+// NumWorkers returns the pool's worker count.
+func (p *Pool) NumWorkers() int { return p.workers }
+
+// Close stops the workers after the already-queued work drains. It is
+// safe to call once; submissions after Close fail with ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Submit enqueues tasks as one batch, blocking while the pool's queue is
+// full until space frees, ctx is cancelled, or the pool closes. The
+// batch's results appear in submission order.
+func (p *Pool) Submit(ctx context.Context, tasks []Task) (*Batch, error) {
+	return p.submit(ctx, tasks, true)
+}
+
+// TrySubmit is Submit without blocking: when the tasks would push the
+// outstanding count past the queue depth it fails fast with ErrQueueFull.
+func (p *Pool) TrySubmit(ctx context.Context, tasks []Task) (*Batch, error) {
+	return p.submit(ctx, tasks, false)
+}
+
+func (p *Pool) submit(ctx context.Context, tasks []Task, block bool) (*Batch, error) {
+	if len(tasks) > p.queueDepth {
+		return nil, fmt.Errorf("jobs: batch of %d exceeds queue depth %d: %w", len(tasks), p.queueDepth, ErrQueueFull)
+	}
+	b := &Batch{
+		ctx:     ctx,
+		pool:    p,
+		tasks:   tasks,
+		results: make([]Result, len(tasks)),
+		total:   len(tasks),
+		fin:     make(chan struct{}),
+	}
+	if len(tasks) == 0 {
+		close(b.fin)
+		return b, nil
+	}
+
+	p.mu.Lock()
+	for !p.closed && p.outstanding+len(tasks) > p.queueDepth {
+		if !block {
+			p.mu.Unlock()
+			return nil, ErrQueueFull
+		}
+		// A cond.Wait cannot watch ctx, so bridge cancellation with a
+		// broadcast: the watcher goroutine pokes every Submit waiter
+		// when ctx dies, and the waiter rechecks ctx below.
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		stopWatch := p.watchContext(ctx)
+		p.cond.Wait()
+		stopWatch()
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+
+	p.outstanding += len(tasks)
+	size := p.chunkSize
+	if size <= 0 {
+		size = len(tasks) / (4 * p.workers)
+		if size < 1 {
+			size = 1
+		}
+	}
+	for lo := 0; lo < len(tasks); lo += size {
+		hi := lo + size
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		d := &p.deques[p.nextDeque%p.workers]
+		p.nextDeque++
+		d.chunks = append(d.chunks, chunk{b: b, lo: lo, hi: hi})
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	if p.cSubmitted != nil {
+		p.cSubmitted.Add(uint64(len(tasks)))
+		p.gQueued.Add(int64(len(tasks)))
+	}
+	return b, nil
+}
+
+// watchContext broadcasts on the pool's cond when ctx is cancelled so a
+// Submit waiter wakes up and observes the cancellation. The returned
+// stop function must be called with p.mu held.
+func (p *Pool) watchContext(ctx context.Context) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		case <-quit:
+		}
+	}()
+	return func() { close(quit) }
+}
+
+// worker is one scheduling loop: drain the own deque back-to-front, then
+// steal front chunks from the other deques, then park.
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for {
+		c, ok := p.next(id)
+		if !ok {
+			return
+		}
+		p.runTask(c.b, c.lo)
+	}
+}
+
+// next pops one task for worker id, splitting chunks so the remainder
+// stays stealable, or parks until work arrives. ok is false when the
+// pool has closed and no work remains.
+func (p *Pool) next(id int) (chunk, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		// Own deque, owner side (back).
+		if d := &p.deques[id]; len(d.chunks) > 0 {
+			c := d.chunks[len(d.chunks)-1]
+			d.chunks = d.chunks[:len(d.chunks)-1]
+			return p.splitLocked(id, c), true
+		}
+		// Steal: scan victims in a deterministic ring from id+1, taking
+		// the oldest chunk (front) so the victim keeps its hot tail.
+		for off := 1; off < p.workers; off++ {
+			v := &p.deques[(id+off)%p.workers]
+			if len(v.chunks) == 0 {
+				continue
+			}
+			c := v.chunks[0]
+			v.chunks = v.chunks[1:]
+			if p.cSteals != nil {
+				p.cSteals.Inc()
+			}
+			return p.splitLocked(id, c), true
+		}
+		if p.closed {
+			return chunk{}, false
+		}
+		p.cond.Wait()
+	}
+}
+
+// splitLocked carves the first task off c, pushing any remainder onto
+// worker id's own deque (back, so the owner continues it LIFO while
+// thieves can still take it from the front). Callers hold p.mu.
+func (p *Pool) splitLocked(id int, c chunk) chunk {
+	if c.hi-c.lo > 1 {
+		rest := chunk{b: c.b, lo: c.lo + 1, hi: c.hi}
+		p.deques[id].chunks = append(p.deques[id].chunks, rest)
+		// Another worker may be parked while this remainder is stealable.
+		p.cond.Signal()
+		c.hi = c.lo + 1
+	}
+	return c
+}
+
+// runTask executes one task with panic isolation and completion
+// accounting.
+func (p *Pool) runTask(b *Batch, i int) {
+	if p.gQueued != nil {
+		p.gQueued.Add(-1)
+		p.gRunning.Add(1)
+	}
+	if err := b.ctx.Err(); err != nil {
+		// The batch was cancelled: charge the task with the
+		// cancellation instead of running it.
+		b.results[i] = Result{Err: err}
+	} else {
+		b.results[i] = p.invoke(b.ctx, b.tasks[i])
+	}
+	if p.gRunning != nil {
+		p.gRunning.Add(-1)
+		p.cCompleted.Inc()
+	}
+
+	p.mu.Lock()
+	p.outstanding--
+	p.cond.Broadcast() // wake Submit waiters blocked on queue space
+	p.mu.Unlock()
+
+	if b.done.Add(1) == int64(b.total) {
+		close(b.fin)
+	}
+}
+
+// invoke runs one task, converting panics to *PanicError.
+func (p *Pool) invoke(ctx context.Context, t Task) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.cPanics != nil {
+				p.cPanics.Inc()
+			}
+			res = Result{Err: &PanicError{Value: r, Stack: debug.Stack()}}
+		}
+	}()
+	v, err := t(ctx)
+	return Result{Value: v, Err: err}
+}
+
+// Done returns a channel closed when every task of the batch has
+// finished (successfully, with an error, or skipped by cancellation).
+func (b *Batch) Done() <-chan struct{} { return b.fin }
+
+// Progress returns how many tasks have finished out of the total.
+func (b *Batch) Progress() (done, total int) {
+	return int(b.done.Load()), b.total
+}
+
+// Wait blocks until the batch completes or ctx is cancelled, returning
+// the results in submission order. After a ctx cancellation the batch
+// keeps draining in the background (cancelled tasks finish instantly);
+// the partially filled results must not be read.
+func (b *Batch) Wait(ctx context.Context) ([]Result, error) {
+	select {
+	case <-b.fin:
+		return b.results, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Map is the convenience path most callers want: run fn over n indexes
+// on the pool and return the values in index order. The first task error
+// (in index order, so deterministically the same one every run) is
+// returned after the whole batch has drained.
+func Map(ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (interface{}, error)) ([]interface{}, error) {
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func(ctx context.Context) (interface{}, error) { return fn(ctx, i) }
+	}
+	b, err := p.Submit(ctx, tasks)
+	if err != nil {
+		return nil, err
+	}
+	results, err := b.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]interface{}, n)
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("jobs: task %d: %w", i, r.Err)
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}
+
+// DefaultWorkers is the conventional worker count: one per core.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

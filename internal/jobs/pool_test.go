@@ -1,0 +1,368 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pilotrf/internal/telemetry"
+)
+
+// TestZeroWorkerConfigRejected: a pool cannot run with zero or negative
+// workers, and the error says how to ask for one-per-core.
+func TestZeroWorkerConfigRejected(t *testing.T) {
+	for _, n := range []int{0, -1, -8} {
+		if _, err := New(Config{Workers: n}); err == nil {
+			t.Errorf("New(Workers=%d) succeeded, want error", n)
+		}
+	}
+	if _, err := New(Config{Workers: 1, QueueDepth: -1}); err == nil {
+		t.Error("negative queue depth accepted")
+	}
+	if _, err := New(Config{Workers: 1, ChunkSize: -1}); err == nil {
+		t.Error("negative chunk size accepted")
+	}
+}
+
+// TestOrderedMerge: results arrive indexed by submission order even when
+// completion order is scrambled.
+func TestOrderedMerge(t *testing.T) {
+	p, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const n = 64
+	out, err := Map(context.Background(), p, n, func(ctx context.Context, i int) (interface{}, error) {
+		// Earlier tasks sleep longer, so completion order inverts
+		// submission order if the scheduler lets it.
+		time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v.(int) != i*i {
+			t.Fatalf("slot %d holds %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestPanicIsolation: one panicking task surfaces as a *PanicError in
+// its own slot; every other task completes; the pool survives for the
+// next batch.
+func TestPanicIsolation(t *testing.T) {
+	p, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = func(ctx context.Context) (interface{}, error) {
+			if i == 3 {
+				panic("boom in cell 3")
+			}
+			return i, nil
+		}
+	}
+	b, err := p.Submit(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := b.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if i == 3 {
+			var pe *PanicError
+			if !errors.As(r.Err, &pe) {
+				t.Fatalf("slot 3: err %v, want *PanicError", r.Err)
+			}
+			if pe.Value != "boom in cell 3" || len(pe.Stack) == 0 {
+				t.Fatalf("panic payload not preserved: %v", pe.Value)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value.(int) != i {
+			t.Fatalf("slot %d: (%v, %v), want (%d, nil)", i, r.Value, r.Err, i)
+		}
+	}
+	// The pool still works after hosting a panic.
+	out, err := Map(context.Background(), p, 4, func(ctx context.Context, i int) (interface{}, error) {
+		return i + 100, nil
+	})
+	if err != nil || out[3].(int) != 103 {
+		t.Fatalf("pool broken after panic: %v %v", out, err)
+	}
+}
+
+// TestCancellationMidBatch: cancelling the batch context stops unstarted
+// tasks (they finish with ctx.Err()) and the batch still drains fully.
+func TestCancellationMidBatch(t *testing.T) {
+	// One chunk spanning the whole batch makes the single worker run
+	// tasks in submission order, so task 0 is in flight when we cancel.
+	p, err := New(Config{Workers: 1, ChunkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	tasks := make([]Task, 16)
+	tasks[0] = func(ctx context.Context) (interface{}, error) {
+		close(started)
+		<-release
+		return "first", nil
+	}
+	for i := 1; i < len(tasks); i++ {
+		tasks[i] = func(ctx context.Context) (interface{}, error) { return "ran", nil }
+	}
+	b, err := p.Submit(ctx, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel()
+	close(release)
+	results, err := b.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Value != "first" {
+		t.Fatalf("in-flight task result %+v, want completed value", results[0])
+	}
+	cancelled := 0
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled != len(tasks)-1 {
+		t.Fatalf("%d of %d pending tasks cancelled, want all", cancelled, len(tasks)-1)
+	}
+	if done, total := b.Progress(); done != total {
+		t.Fatalf("batch did not drain: %d/%d", done, total)
+	}
+}
+
+// TestQueueFullBackpressure: TrySubmit refuses work past the queue
+// depth with ErrQueueFull; Submit blocks until space frees.
+func TestQueueFullBackpressure(t *testing.T) {
+	p, err := New(Config{Workers: 1, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := []Task{func(ctx context.Context) (interface{}, error) {
+		close(started)
+		<-release
+		return nil, nil
+	}}
+	filler := make([]Task, 3)
+	for i := range filler {
+		filler[i] = func(ctx context.Context) (interface{}, error) { return nil, nil }
+	}
+	b1, err := p.Submit(context.Background(), blocker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	b2, err := p.Submit(context.Background(), filler) // queue now 4/4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TrySubmit(context.Background(), filler[:1]); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("TrySubmit on full queue: %v, want ErrQueueFull", err)
+	}
+	// A batch larger than the whole queue can never run: fail fast even
+	// on the blocking path.
+	big := make([]Task, 5)
+	for i := range big {
+		big[i] = filler[0]
+	}
+	if _, err := p.Submit(context.Background(), big); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("oversized batch: %v, want ErrQueueFull", err)
+	}
+	// Submit blocks while full, then proceeds once the blocker retires.
+	var unblocked atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b3, err := p.Submit(context.Background(), filler[:1])
+		if err != nil {
+			t.Errorf("blocked Submit: %v", err)
+			return
+		}
+		unblocked.Store(true)
+		b3.Wait(context.Background())
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if unblocked.Load() {
+		t.Fatal("Submit did not block on a full queue")
+	}
+	close(release)
+	wg.Wait()
+	if _, err := b1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A context cancellation releases a blocked Submit.
+	release2 := make(chan struct{})
+	started2 := make(chan struct{})
+	var once sync.Once
+	hold := make([]Task, 4)
+	for i := range hold {
+		hold[i] = func(ctx context.Context) (interface{}, error) {
+			once.Do(func() { close(started2) })
+			<-release2
+			return nil, nil
+		}
+	}
+	bh, err := p.Submit(context.Background(), hold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started2
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := p.Submit(ctx, filler[:1]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Submit: %v, want context.Canceled", err)
+	}
+	close(release2)
+	bh.Wait(context.Background())
+}
+
+// TestErrorPropagatesDeterministically: Map returns the lowest-index
+// error however the workers interleave.
+func TestErrorPropagatesDeterministically(t *testing.T) {
+	p, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for trial := 0; trial < 5; trial++ {
+		_, err := Map(context.Background(), p, 32, func(ctx context.Context, i int) (interface{}, error) {
+			if i%7 == 5 { // tasks 5, 12, 19, 26 fail
+				return nil, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "jobs: task 5: cell 5 failed" {
+			t.Fatalf("trial %d: error %v, want the lowest-index failure", trial, err)
+		}
+	}
+}
+
+// TestClosedPoolRejectsWork: submissions after Close fail with ErrClosed
+// and Close drains queued work first.
+func TestClosedPoolRejectsWork(t *testing.T) {
+	p, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	b, err := p.Submit(context.Background(), []Task{
+		func(ctx context.Context) (interface{}, error) { ran.Add(1); return nil, nil },
+		func(ctx context.Context) (interface{}, error) { ran.Add(1); return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if ran.Load() != 2 {
+		t.Fatalf("queued work dropped at close: ran %d of 2", ran.Load())
+	}
+	if _, err := p.Submit(context.Background(), []Task{func(ctx context.Context) (interface{}, error) { return nil, nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolMetrics: a configured registry sees submission/completion
+// counters move and the queue gauges return to zero at rest.
+func TestPoolMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p, err := New(Config{Workers: 3, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := Map(context.Background(), p, 20, func(ctx context.Context, i int) (interface{}, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m := reg.Map()
+	if m["jobs_submitted"] != 20 || m["jobs_completed"] != 20 {
+		t.Fatalf("submitted/completed = %v/%v, want 20/20", m["jobs_submitted"], m["jobs_completed"])
+	}
+	if m["jobs_queued"] != 0 || m["jobs_running"] != 0 {
+		t.Fatalf("gauges at rest = queued %v running %v, want 0/0", m["jobs_queued"], m["jobs_running"])
+	}
+}
+
+// TestWorkStealingSpreadsLoad: with one worker wedged on a long task,
+// the other workers steal the wedged worker's queued chunks instead of
+// idling — the batch completes while the long task is still running.
+func TestWorkStealingSpreadsLoad(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	// Chunks of 4 dealt round-robin over 2 deques guarantee the slow
+	// task's deque also holds fast chunks that must be stolen.
+	p, err := New(Config{Workers: 2, ChunkSize: 4, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	release := make(chan struct{})
+	tasks := make([]Task, 32)
+	tasks[0] = func(ctx context.Context) (interface{}, error) {
+		<-release
+		return nil, nil
+	}
+	var fast atomic.Int64
+	for i := 1; i < len(tasks); i++ {
+		tasks[i] = func(ctx context.Context) (interface{}, error) {
+			fast.Add(1)
+			return nil, nil
+		}
+	}
+	b, err := p.Submit(context.Background(), tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for fast.Load() < int64(len(tasks)-1) {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d fast tasks ran while one worker was wedged (no stealing?)", fast.Load(), len(tasks)-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	if _, err := b.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Map()["jobs_steals"] == 0 {
+		t.Error("no steals recorded despite a wedged worker")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pilotrf/internal/regfile"
+	"pilotrf/internal/workloads"
+)
+
+// TestConcurrentRunsIndependent runs 4 workloads x 4 designs at once —
+// every combination in its own goroutine against its own GPU — and
+// compares each result to a sequential reference run. Under -race this
+// is the contract the parallel campaign engine and the job server stand
+// on: sim.New/RunKernels share no mutable package state, so concurrent
+// runs are exactly as deterministic as sequential ones.
+func TestConcurrentRunsIndependent(t *testing.T) {
+	designs := []regfile.Design{
+		regfile.DesignMonolithicSTV,
+		regfile.DesignMonolithicNTV,
+		regfile.DesignPartitioned,
+		regfile.DesignPartitionedAdaptive,
+	}
+	names := []string{"sgemm", "backprop", "srad", "WP"}
+
+	type combo struct {
+		w   workloads.Workload
+		cfg Config
+		key string
+	}
+	var combos []combo
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w = w.Scale(0.05)
+		for _, d := range designs {
+			cfg := DefaultConfig().WithDesign(d)
+			cfg.NumSMs = 1
+			combos = append(combos, combo{w: w, cfg: cfg, key: fmt.Sprintf("%s/%v", name, d)})
+		}
+	}
+
+	run := func(c combo) (RunStats, error) {
+		g, err := New(c.cfg)
+		if err != nil {
+			return RunStats{}, err
+		}
+		return g.RunKernels(c.w.Name, c.w.Kernels)
+	}
+
+	want := make([]RunStats, len(combos))
+	for i, c := range combos {
+		rs, err := run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.key, err)
+		}
+		want[i] = rs
+	}
+
+	got := make([]RunStats, len(combos))
+	errs := make([]error, len(combos))
+	var wg sync.WaitGroup
+	for i, c := range combos {
+		wg.Add(1)
+		go func(i int, c combo) {
+			defer wg.Done()
+			got[i], errs[i] = run(c)
+		}(i, c)
+	}
+	wg.Wait()
+
+	for i, c := range combos {
+		if errs[i] != nil {
+			t.Errorf("%s: concurrent run failed: %v", c.key, errs[i])
+			continue
+		}
+		if got[i].TotalCycles() != want[i].TotalCycles() ||
+			got[i].TotalAccesses() != want[i].TotalAccesses() ||
+			got[i].PartAccesses() != want[i].PartAccesses() {
+			t.Errorf("%s: concurrent run diverged from sequential (%d/%d vs %d/%d)",
+				c.key, got[i].TotalCycles(), got[i].TotalAccesses(),
+				want[i].TotalCycles(), want[i].TotalAccesses())
+		}
+	}
+}

@@ -28,11 +28,13 @@ type LiveServer struct {
 	ln  net.Listener
 }
 
-// StartLive serves the registry's metrics on addr (e.g. ":8080") in a
-// background goroutine and returns the running server. Pass the returned
-// server's Close to stop it. Starting a second live server rebinds the
-// expvar export to the new registry.
-func StartLive(addr string, reg *Registry) (*LiveServer, error) {
+// NewMux returns the diagnostics routes — expvar at /debug/vars, pprof
+// under /debug/pprof/, and reg's metrics at /metrics — as a mux other
+// servers can graft application routes onto (cmd/pilotserve mounts its
+// job API on the same listener). The /metrics page always reflects the
+// most recently mounted registry: expvar's export is process-global, so
+// there is one live registry per process.
+func NewMux(reg *Registry) *http.ServeMux {
 	liveRegistry.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("pilotrf", expvar.Func(func() interface{} {
@@ -64,7 +66,15 @@ func StartLive(addr string, reg *Registry) (*LiveServer, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = r.WriteText(w)
 	})
+	return mux
+}
 
+// StartLive serves the registry's metrics on addr (e.g. ":8080") in a
+// background goroutine and returns the running server. Pass the returned
+// server's Close to stop it. Starting a second live server rebinds the
+// expvar export to the new registry.
+func StartLive(addr string, reg *Registry) (*LiveServer, error) {
+	mux := NewMux(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

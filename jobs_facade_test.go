@@ -1,0 +1,62 @@
+package pilotrf
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// TestCampaignFacade runs a small campaign through the facade twice —
+// once on one worker, once on four with a cache — and checks the
+// reports are byte-identical and the cache was written.
+func TestCampaignFacade(t *testing.T) {
+	spec := CampaignSpec{
+		Benchmarks: []string{"sgemm"},
+		Designs:    []string{"part-adaptive"},
+		Protect:    []string{"none", "secded"},
+		Trials:     2,
+		Seed:       7,
+		Scale:      0.05,
+		SMs:        1,
+	}
+
+	seqPool, err := NewWorkerPool(PoolConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqPool.Close()
+	seq, err := RunFaultCampaign(context.Background(), spec, CampaignOptions{Pool: seqPool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Schema != CampaignSchema {
+		t.Fatalf("schema %q, want %q", seq.Schema, CampaignSchema)
+	}
+
+	cache, err := OpenResultCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPool, err := NewWorkerPool(PoolConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parPool.Close()
+	par, err := RunFaultCampaign(context.Background(), spec, CampaignOptions{Pool: parPool, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb, _ := json.Marshal(seq)
+	pb, _ := json.Marshal(par)
+	if string(sb) != string(pb) {
+		t.Fatalf("parallel facade report differs from sequential:\n%s\nvs\n%s", sb, pb)
+	}
+	if st := cache.Stats(); st.Puts == 0 {
+		t.Errorf("cache recorded no writes: %+v", st)
+	}
+	if DefaultWorkers() < 1 {
+		t.Errorf("DefaultWorkers() = %d", DefaultWorkers())
+	}
+}
