@@ -24,10 +24,21 @@
 //	                       {"id","state","done","total"} until the
 //	                       terminal line carries the report ("done") or
 //	                       the error ("failed").
-//	GET  /healthz        — 200 while serving, 503 while draining.
-//	GET  /metrics        — serving + pool metrics (text, or
-//	                       ?format=json); /debug/vars and /debug/pprof
-//	                       ride along via the telemetry mux.
+//	GET  /healthz        — JSON {"status","uptime_seconds","go_version",
+//	                       "version"}: 200 with status "ok" while
+//	                       serving, 503 with status "draining" while
+//	                       draining.
+//	GET  /metrics        — serving + pool metrics in Prometheus text
+//	                       exposition (?format=json for a flat JSON map,
+//	                       ?format=text for the legacy dump); /debug/vars
+//	                       and /debug/pprof ride along via the telemetry
+//	                       mux.
+//
+// Every request carries an X-Request-ID (the caller's, or a generated
+// req-N), echoed on the response, stamped on each NDJSON progress line
+// of the jobs it admitted, and attached to every structured log record.
+// Logs are JSON (log/slog) on stderr; per-endpoint latency and
+// queue-wait histograms land in /metrics.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (503), running jobs
 // finish, then the process exits 0. A second signal forces exit 3.
@@ -36,6 +47,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -67,12 +79,14 @@ func run(args []string) int {
 		return 2
 	}
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	s, err := newServer(serverConfig{
 		workers:    *parallel,
 		queueUnits: *queueUnits,
 		perClient:  *perClient,
 		cacheDir:   *cacheDir,
 		reg:        telemetry.NewRegistry(),
+		log:        logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -86,8 +100,8 @@ func run(args []string) int {
 		return 1
 	}
 	srv := &http.Server{Handler: s}
-	fmt.Fprintf(os.Stderr, "pilotserve listening on %s (%d workers, %d queue units)\n",
-		ln.Addr(), *parallel, *queueUnits)
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", *parallel, "queue_units", *queueUnits, "version", buildVersion())
 
 	// First signal: drain — stop admitting, finish running jobs, exit 0.
 	// Second signal: force exit 3 without waiting.
@@ -102,7 +116,7 @@ func run(args []string) int {
 		return 1
 	case <-sigc:
 	}
-	fmt.Fprintln(os.Stderr, "draining: waiting for running jobs (signal again to force)")
+	logger.Info("draining", "detail", "waiting for running jobs (signal again to force)")
 	s.beginDrain()
 	drained := make(chan struct{})
 	go func() {
@@ -112,10 +126,10 @@ func run(args []string) int {
 	select {
 	case <-drained:
 		_ = srv.Close()
-		fmt.Fprintln(os.Stderr, "drained cleanly")
+		logger.Info("drained cleanly")
 		return 0
 	case <-sigc:
-		fmt.Fprintln(os.Stderr, "forced shutdown: jobs abandoned")
+		logger.Error("forced shutdown: jobs abandoned")
 		return 3
 	}
 }

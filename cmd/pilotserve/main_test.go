@@ -5,9 +5,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 
 	"pilotrf/internal/campaign"
@@ -306,5 +310,194 @@ func TestCacheSharedAcrossJobs(t *testing.T) {
 	}
 	if n := reg.Map()["jobs_submitted"]; n != 2 {
 		t.Errorf("pool ran %v simulations, want 2 (golden + trial, once)", n)
+	}
+}
+
+// TestRequestIDTracing: a caller-supplied X-Request-ID is echoed on the
+// response and stamped on every NDJSON line of the jobs it admitted; a
+// request without one gets a generated req-N id; and the structured log
+// carries the id on request, admission, and job lifecycle records.
+func TestRequestIDTracing(t *testing.T) {
+	var logBuf syncBuffer
+	_, ts := newTestServer(t, serverConfig{
+		workers: 1,
+		log:     slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(`{"jobs":[`+testSpecJSON+`]}`))
+	req.Header.Set("X-Request-ID", "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "trace-me-42" {
+		t.Errorf("submit echoed X-Request-ID %q, want trace-me-42", got)
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Every NDJSON progress line carries the submitting request's id.
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + sr.Jobs[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if got := stream.Header.Get("X-Request-ID"); got == "" || strings.Contains(got, "trace-me") {
+		t.Errorf("stream request got X-Request-ID %q, want a fresh generated id", got)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		var st jobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.RequestID != "trace-me-42" {
+			t.Fatalf("NDJSON line %d carries request_id %q, want trace-me-42", lines, st.RequestID)
+		}
+		lines++
+	}
+	if lines == 0 {
+		t.Fatal("no NDJSON lines")
+	}
+
+	// A request without the header gets a generated id.
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if got := health.Header.Get("X-Request-ID"); !strings.HasPrefix(got, "req-") {
+		t.Errorf("generated id %q, want req-N", got)
+	}
+
+	// The structured log mentions the id on request, admission, and job
+	// lifecycle records.
+	logs := logBuf.String()
+	for _, want := range []string{`"msg":"request"`, `"msg":"batch accepted"`, `"msg":"job running"`, `"msg":"job done"`} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %s:\n%s", want, logs)
+		}
+	}
+	if got := strings.Count(logs, `"request_id":"trace-me-42"`); got < 3 {
+		t.Errorf("request id appears %d times in the log, want >= 3:\n%s", got, logs)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing slog output
+// written from request and job goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestHealthzJSON: /healthz reports status, uptime, Go version, and the
+// build stamp; draining flips status and the code to 503.
+func TestHealthzJSON(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q, want ok", h.Status)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %v", h.UptimeSeconds)
+	}
+	if h.GoVersion != runtime.Version() {
+		t.Errorf("go_version %q, want %q", h.GoVersion, runtime.Version())
+	}
+	if h.Version == "" {
+		t.Error("empty version stamp")
+	}
+
+	s.beginDrain()
+	dresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", dresp.StatusCode)
+	}
+	var dh healthResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&dh); err != nil {
+		t.Fatal(err)
+	}
+	if dh.Status != "draining" {
+		t.Errorf("draining status %q", dh.Status)
+	}
+}
+
+// TestMetricsPrometheus: after a served job, /metrics renders valid
+// Prometheus exposition with the endpoint latency histograms, the
+// queue-wait histogram, and the serving counters.
+func TestMetricsPrometheus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	_, ts := newTestServer(t, serverConfig{workers: 1, reg: reg})
+	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	streamJob(t, ts, sr.Jobs[0].ID)
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q, want Prometheus text exposition", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE serve_http_submit_seconds histogram",
+		`serve_http_submit_seconds_bucket{le="+Inf"}`,
+		"serve_http_submit_seconds_count",
+		"# TYPE serve_http_job_seconds histogram",
+		"# TYPE serve_queue_wait_seconds histogram",
+		"serve_queue_wait_seconds_count 1",
+		"# TYPE serve_jobs_completed counter",
+		"serve_jobs_completed 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Queue-wait observes once per job; the submit histogram once per
+	// POST.
+	if h := reg.Histogram("serve_http_submit_seconds", telemetry.DefBuckets); h.Count() != 1 {
+		t.Errorf("submit histogram count %d, want 1", h.Count())
 	}
 }

@@ -4,15 +4,40 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pilotrf/internal/campaign"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
 )
+
+// version is the build stamp reported by /healthz; stamp releases with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/pilotserve
+//
+// Unstamped builds fall back to the module version when the toolchain
+// recorded one.
+var version = "dev"
+
+// buildVersion resolves the /healthz version stamp.
+func buildVersion() string {
+	if version != "dev" {
+		return version
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return version
+}
 
 // serverConfig sizes the job server. The zero value is not valid; use
 // defaults() or the flag wiring in main.
@@ -32,14 +57,19 @@ type serverConfig struct {
 	// reg receives the serving metrics and the pool's counters, and
 	// backs the /metrics and /debug/vars pages.
 	reg *telemetry.Registry
+	// log receives one structured record per request and per job state
+	// change, each carrying the request id. nil discards them (tests).
+	log *slog.Logger
 }
 
 // serveJob is one admitted campaign and its observable progress.
 type serveJob struct {
-	id     string
-	client string
-	units  int
-	spec   campaign.Spec
+	id       string
+	client   string
+	units    int
+	spec     campaign.Spec
+	reqID    string    // X-Request-ID of the submitting request
+	admitted time.Time // when admission accepted the job (queue-wait base)
 
 	mu      sync.Mutex
 	changed chan struct{} // closed and replaced on every update
@@ -59,14 +89,17 @@ func (j *serveJob) update(f func()) {
 	j.mu.Unlock()
 }
 
-// jobStatus is one NDJSON progress line of GET /v1/jobs/{id}.
+// jobStatus is one NDJSON progress line of GET /v1/jobs/{id}. RequestID
+// is the X-Request-ID of the submission that created the job, so a
+// client can correlate every progress line with its batch.
 type jobStatus struct {
-	ID     string           `json:"id"`
-	State  string           `json:"state"`
-	Done   int              `json:"done"`
-	Total  int              `json:"total"`
-	Report *campaign.Report `json:"report,omitempty"`
-	Error  string           `json:"error,omitempty"`
+	ID        string           `json:"id"`
+	RequestID string           `json:"request_id,omitempty"`
+	State     string           `json:"state"`
+	Done      int              `json:"done"`
+	Total     int              `json:"total"`
+	Report    *campaign.Report `json:"report,omitempty"`
+	Error     string           `json:"error,omitempty"`
 }
 
 // snapshot returns the job's current status line and the channel that
@@ -75,7 +108,7 @@ func (j *serveJob) snapshot() (jobStatus, <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobStatus{
-		ID: j.id, State: j.state, Done: j.done, Total: j.total,
+		ID: j.id, RequestID: j.reqID, State: j.state, Done: j.done, Total: j.total,
 		Report: j.report, Error: j.errMsg,
 	}, j.changed
 }
@@ -87,6 +120,12 @@ type server struct {
 	mux   *http.ServeMux
 	pool  *jobs.Pool
 	cache *jobs.Cache
+	log   *slog.Logger
+	start time.Time
+
+	// reqSeq mints X-Request-ID values for requests that arrive without
+	// one.
+	reqSeq atomic.Int64
 
 	mu        sync.Mutex
 	seq       int
@@ -103,6 +142,13 @@ type server struct {
 	mRejectedClient *telemetry.Counter
 	gActive         *telemetry.Gauge
 	gQueuedUnits    *telemetry.Gauge
+
+	// Per-endpoint request latency and the admission-to-start queue
+	// wait, in seconds.
+	hSubmit    *telemetry.Histogram
+	hJob       *telemetry.Histogram
+	hHealth    *telemetry.Histogram
+	hQueueWait *telemetry.Histogram
 }
 
 // newServer builds the service on cfg.reg's diagnostics mux. The caller
@@ -131,10 +177,16 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, err
 		}
 	}
+	logger := cfg.log
+	if logger == nil {
+		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
 	s := &server{
 		cfg:       cfg,
 		pool:      pool,
 		cache:     cache,
+		log:       logger,
+		start:     time.Now(),
 		jobsByID:  make(map[string]*serveJob),
 		perClient: make(map[string]int),
 
@@ -145,12 +197,70 @@ func newServer(cfg serverConfig) (*server, error) {
 		mRejectedClient: cfg.reg.Counter("serve_rejected_client_limit"),
 		gActive:         cfg.reg.Gauge("serve_active_jobs"),
 		gQueuedUnits:    cfg.reg.Gauge("serve_queued_units"),
+
+		hSubmit:    cfg.reg.Histogram("serve_http_submit_seconds", telemetry.DefBuckets),
+		hJob:       cfg.reg.Histogram("serve_http_job_seconds", telemetry.DefBuckets),
+		hHealth:    cfg.reg.Histogram("serve_http_health_seconds", telemetry.DefBuckets),
+		hQueueWait: cfg.reg.Histogram("serve_queue_wait_seconds", telemetry.DefBuckets),
 	}
 	s.mux = telemetry.NewMux(cfg.reg)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/v1/jobs", s.handleSubmit)
-	s.mux.HandleFunc("/v1/jobs/", s.handleJob)
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.hHealth, s.handleHealth))
+	s.mux.HandleFunc("/v1/jobs", s.instrument("submit", s.hSubmit, s.handleSubmit))
+	s.mux.HandleFunc("/v1/jobs/", s.instrument("job", s.hJob, s.handleJob))
 	return s, nil
+}
+
+// ctxKeyRequestID carries the request id through handler contexts.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// reqIDFrom extracts the request id placed by instrument.
+func reqIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// statusWriter records the response code for the request log while
+// passing Flush through so NDJSON streaming keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader captures the status code before delegating.
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer's Flusher, if any.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request tracing: the caller's
+// X-Request-ID is adopted (or one is minted), echoed on the response,
+// threaded through the context, and stamped on the structured request
+// record; the handler's latency lands in its endpoint histogram.
+func (s *server) instrument(endpoint string, lat *telemetry.Histogram, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" {
+			rid = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", rid)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, rid)))
+		dur := time.Since(t0).Seconds()
+		lat.Observe(dur)
+		s.log.Info("request",
+			"request_id", rid, "endpoint", endpoint, "method", r.Method,
+			"path", r.URL.Path, "status", sw.code, "duration_seconds", dur)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -165,7 +275,10 @@ func (s *server) Close() { s.pool.Close() }
 func (s *server) beginDrain() {
 	s.mu.Lock()
 	s.draining = true
+	active := len(s.perClient)
+	queued := s.queued
 	s.mu.Unlock()
+	s.log.Info("drain started", "queued_units", queued, "clients_in_flight", active)
 }
 
 // waitIdle blocks until every admitted job has finished.
@@ -200,16 +313,31 @@ type submittedJob struct {
 	Units int `json:"units"`
 }
 
+// healthResponse is the GET /healthz body: liveness plus enough build
+// and uptime context to identify the process from a probe alone.
+type healthResponse struct {
+	Status        string  `json:"status"` // "ok" | "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version"`
+}
+
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	status, code := "ok", http.StatusOK
 	if draining {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(healthResponse{
+		Status:        status,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		GoVersion:     runtime.Version(),
+		Version:       buildVersion(),
+	})
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -238,41 +366,52 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		total += n
 	}
 	client := clientID(r)
+	rid := reqIDFrom(r.Context())
 
 	// Admission is atomic over the whole batch: either every job is
 	// accepted or none, so callers never chase partial batches.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.log.Warn("batch rejected", "request_id", rid, "client", client, "reason", "draining")
 		http.Error(w, "draining: not accepting new jobs", http.StatusServiceUnavailable)
 		return
 	}
 	if s.perClient[client]+len(req.Jobs) > s.cfg.perClient {
 		s.mu.Unlock()
 		s.mRejectedClient.Inc()
+		s.log.Warn("batch rejected", "request_id", rid, "client", client,
+			"reason", "client limit", "limit", s.cfg.perClient)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, fmt.Sprintf("client %s has too many jobs in flight (limit %d)", client, s.cfg.perClient), http.StatusTooManyRequests)
 		return
 	}
 	if s.queued+total > s.cfg.queueUnits {
+		inFlight := s.queued
 		s.mu.Unlock()
 		s.mRejectedQueue.Inc()
+		s.log.Warn("batch rejected", "request_id", rid, "client", client,
+			"reason", "queue full", "in_flight_units", inFlight, "batch_units", total,
+			"capacity", s.cfg.queueUnits)
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, fmt.Sprintf("queue full: %d units in flight, batch needs %d, capacity %d", s.queued, total, s.cfg.queueUnits), http.StatusTooManyRequests)
+		http.Error(w, fmt.Sprintf("queue full: %d units in flight, batch needs %d, capacity %d", inFlight, total, s.cfg.queueUnits), http.StatusTooManyRequests)
 		return
 	}
 	resp := submitResponse{Jobs: make([]submittedJob, len(req.Jobs))}
 	started := make([]*serveJob, len(req.Jobs))
+	now := time.Now()
 	for i, spec := range req.Jobs {
 		s.seq++
 		j := &serveJob{
-			id:      fmt.Sprintf("job-%d", s.seq),
-			client:  client,
-			units:   units[i],
-			spec:    spec,
-			changed: make(chan struct{}),
-			state:   "queued",
-			total:   units[i],
+			id:       fmt.Sprintf("job-%d", s.seq),
+			client:   client,
+			units:    units[i],
+			spec:     spec,
+			reqID:    rid,
+			admitted: now,
+			changed:  make(chan struct{}),
+			state:    "queued",
+			total:    units[i],
 		}
 		s.jobsByID[j.id] = j
 		started[i] = j
@@ -286,6 +425,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.gQueuedUnits.Add(int64(total))
 	s.gActive.Add(int64(len(req.Jobs)))
 	s.mAccepted.Add(uint64(len(req.Jobs)))
+	ids := make([]string, len(started))
+	for i, j := range started {
+		ids[i] = j.id
+	}
+	s.log.Info("batch accepted", "request_id", rid, "client", client,
+		"jobs", len(started), "units", total, "ids", ids)
 	for _, j := range started {
 		go s.runJob(j)
 	}
@@ -310,7 +455,12 @@ func (s *server) runJob(j *serveJob) {
 		s.active.Done()
 	}()
 
+	wait := time.Since(j.admitted)
+	s.hQueueWait.Observe(wait.Seconds())
 	j.update(func() { j.state = "running" })
+	s.log.Info("job running", "request_id", j.reqID, "job", j.id,
+		"units", j.units, "queue_wait_seconds", wait.Seconds())
+	t0 := time.Now()
 	rep, err := campaign.Run(context.Background(), j.spec, campaign.Options{
 		Pool:  s.pool,
 		Cache: s.cache,
@@ -320,10 +470,14 @@ func (s *server) runJob(j *serveJob) {
 	})
 	if err != nil {
 		s.mFailed.Inc()
+		s.log.Error("job failed", "request_id", j.reqID, "job", j.id,
+			"duration_seconds", time.Since(t0).Seconds(), "error", err.Error())
 		j.update(func() { j.state = "failed"; j.errMsg = err.Error() })
 		return
 	}
 	s.mCompleted.Inc()
+	s.log.Info("job done", "request_id", j.reqID, "job", j.id,
+		"duration_seconds", time.Since(t0).Seconds())
 	j.update(func() { j.state = "done"; j.report = &rep })
 }
 

@@ -11,7 +11,7 @@
 //	         [-trace-out f.json] [-events-out f.ndjson] [-metrics-out f.csv]
 //	         [-energy-out f.csv] [-heatmap-out f.csv|f.json] [-audit-out f.csv|f.json]
 //	         [-record-out f.ndjson] [-record-every k] [-replay-check f.ndjson]
-//	         [-stalls] [-http :6060] [-parallel n]
+//	         [-stalls] [-http :6060] [-parallel n] [-perf-out f.json]
 //	         [-fault-rate f] [-fault-seed n] [-protect none|parity|secded|paper]
 //
 // -parallel n runs the benchmarks concurrently on an n-worker
@@ -25,6 +25,10 @@
 // NDJSON, -metrics-out dumps the per-epoch metric time series as CSV,
 // -stalls prints a stall-cycle attribution table per benchmark, and
 // -http serves expvar/pprof plus a /metrics page while runs execute.
+// -perf-out profiles the simulator itself: per-benchmark wall-clock
+// phase timings plus the deterministic skip-headroom census, written as
+// a pilotrf-perfscope/v1 JSON report (see internal/perfscope and
+// cmd/perfscope for the census-only reproducible sweep).
 //
 // Energy attribution: -energy-out attaches the energy ledger and writes
 // the per-SM per-epoch charge stream as CSV; -heatmap-out writes the
@@ -69,6 +73,7 @@ import (
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/jobs"
+	"pilotrf/internal/perfscope"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
@@ -257,6 +262,7 @@ func run(args []string, stdout io.Writer) error {
 		faultSeed   = fs.Uint64("fault-seed", 1, "fault-injection seed")
 		protect     = fs.String("protect", "none", "RF protection scheme: none | parity | secded | paper")
 		parallel    = fs.Int("parallel", 1, "run benchmarks concurrently on N pool workers (same bytes as 1; incompatible with shared-observer outputs)")
+		perfOut     = fs.String("perf-out", "", "write the simulator's wall-clock & skip-headroom profile as pilotrf-perfscope/v1 JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -271,8 +277,8 @@ func run(args []string, stdout io.Writer) error {
 		// merge deterministically, observer streams do not.
 		if *traceN > 0 || *traceOut != "" || *eventsOut != "" || *metricsCSV != "" ||
 			*energyOut != "" || *heatmapOut != "" || *auditOut != "" ||
-			*recordOut != "" || *replayCheck != "" || *httpAddr != "" {
-			return usageError{fmt.Errorf("-parallel %d is incompatible with shared-observer outputs (-trace, -trace-out, -events-out, -metrics-out, -energy-out, -heatmap-out, -audit-out, -record-out, -replay-check, -http); rerun with -parallel 1", *parallel)}
+			*recordOut != "" || *replayCheck != "" || *httpAddr != "" || *perfOut != "" {
+			return usageError{fmt.Errorf("-parallel %d is incompatible with shared-observer outputs (-trace, -trace-out, -events-out, -metrics-out, -energy-out, -heatmap-out, -audit-out, -record-out, -replay-check, -http, -perf-out); rerun with -parallel 1 (or use cmd/perfscope for parallel census sweeps)", *parallel)}
 		}
 	}
 
@@ -355,7 +361,7 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Record = checker
 	}
 
-	out, err := openOutputs(*traceOut, *eventsOut, *metricsCSV, *energyOut, *heatmapOut, *auditOut, *recordOut)
+	out, err := openOutputs(*traceOut, *eventsOut, *metricsCSV, *energyOut, *heatmapOut, *auditOut, *recordOut, *perfOut)
 	if err != nil {
 		return err
 	}
@@ -484,6 +490,7 @@ func run(args []string, stdout io.Writer) error {
 			io.WriteString(stdout, r.Value.(string))
 		}
 	} else {
+		var perfEntries []perfscope.Entry
 		for _, w := range wls {
 			select {
 			case <-sigc:
@@ -494,6 +501,11 @@ func run(args []string, stdout io.Writer) error {
 				break
 			}
 			w = w.Scale(*scale)
+			if *perfOut != "" {
+				// One profiler per benchmark so the report attributes
+				// wall time and skip headroom per workload row.
+				cfg.Perf = perfscope.New(true)
+			}
 			g, err := sim.New(cfg)
 			if err != nil {
 				return err
@@ -502,6 +514,9 @@ func run(args []string, stdout io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("%s: %w", w.Name, err)
 			}
+			if cfg.Perf != nil {
+				perfEntries = append(perfEntries, perfscope.NewEntry(w.Name, *design, cfg.Perf))
+			}
 			if led != nil {
 				for p, n := range rs.PartAccesses() {
 					ledgerParts[p] += n
@@ -509,6 +524,11 @@ func run(args []string, stdout io.Writer) error {
 				ledgerCycles += rs.TotalCycles()
 			}
 			printResult(stdout, cfg, scheme, w, rs, *verbose, *stalls)
+		}
+		if *perfOut != "" {
+			if err := out.write(*perfOut, perfscope.NewReport(perfEntries).WriteJSON); err != nil {
+				return err
+			}
 		}
 	}
 

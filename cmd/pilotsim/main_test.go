@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pilotrf/internal/flightrec"
+	"pilotrf/internal/perfscope"
 )
 
 // TestCombinedExporters drives the combined -trace-out/-energy-out/
@@ -232,5 +233,46 @@ func TestParallelRejectsSharedObservers(t *testing.T) {
 	}
 	if err := run([]string{"-parallel", "0"}, &out); err == nil {
 		t.Fatal("-parallel 0 accepted")
+	}
+}
+
+// TestPerfOut: -perf-out writes a valid pilotrf-perfscope/v1 report
+// with one entry per benchmark, and -parallel rejects it like the other
+// shared observers.
+func TestPerfOut(t *testing.T) {
+	dir := t.TempDir()
+	perf := filepath.Join(dir, "perf.json")
+	var out bytes.Buffer
+	if err := run([]string{"-bench", "sgemm", "-sms", "1", "-scale", "0.1", "-perf-out", perf}, &out); err != nil {
+		t.Fatal(err)
+	}
+	r, err := perfscope.ReadFile(perf)
+	if err != nil {
+		t.Fatalf("perf report does not validate: %v", err)
+	}
+	if len(r.Entries) != 1 || r.Entries[0].Workload != "sgemm" {
+		t.Fatalf("report entries %+v, want one sgemm row", r.Entries)
+	}
+	e := r.Entries[0]
+	if e.Design != "part-adaptive" {
+		t.Errorf("entry design %q, want the default part-adaptive", e.Design)
+	}
+	if e.Census.SMCycles == 0 {
+		t.Error("census observed no cycles")
+	}
+	if e.Wall == nil || e.Wall.TotalNS <= 0 {
+		t.Error("pilotsim -perf-out should time phases (wall clock on)")
+	}
+
+	rejected := filepath.Join(dir, "rejected.json")
+	err = run([]string{"-bench", "sgemm", "-parallel", "2", "-perf-out", rejected}, &out)
+	if err == nil {
+		t.Fatal("-parallel 2 with -perf-out accepted")
+	}
+	if _, ok := err.(usageError); !ok {
+		t.Fatalf("error %v is %T, want usageError", err, err)
+	}
+	if _, statErr := os.Stat(rejected); !os.IsNotExist(statErr) {
+		t.Errorf("rejected run left %s behind", rejected)
 	}
 }

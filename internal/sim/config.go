@@ -21,6 +21,7 @@ import (
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
+	"pilotrf/internal/perfscope"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/rfc"
@@ -179,6 +180,14 @@ type Config struct {
 	// a replay against a prior recording. Nil disables recording with no
 	// overhead.
 	Record flightrec.Sink
+
+	// Perf, when set, attaches the perfscope profiler: a deterministic
+	// skip-headroom census of every SM cycle (busy / active-no-issue /
+	// skippable / stalled-unknown) and, when the profiler was built with
+	// wall-clock enabled, per-phase tick timing. Purely observational —
+	// the simulation is bit-identical either way — and nil disables it
+	// with no overhead beyond one nil check per hook.
+	Perf *perfscope.Profiler
 
 	// Fault, when set, enables deterministic soft-error injection: each
 	// SM runs an independent (seed-salted) fault process striking RF

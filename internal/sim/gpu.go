@@ -189,6 +189,9 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 			// kernels carry at least one checksum to compare.
 			s.recordChecksum()
 		}
+		if s.pf != nil {
+			s.foldPerf()
+		}
 	}
 	if g.cfg.Energy != nil {
 		g.cfg.Energy.EndKernel(cycle)

@@ -96,6 +96,9 @@ func (s *sm) tickBanks() {
 		bank.queue = bank.queue[:len(bank.queue)-1]
 
 		part, lat := s.routeAccess(req)
+		if s.pf != nil {
+			s.pf.bankOps++
+		}
 		s.countPartAccess(part, req.warp.slot, req.arch)
 		if s.cfg.Tracer != nil {
 			kind := "read"
@@ -172,6 +175,9 @@ func (s *sm) schedule(cycle int64, fn func()) {
 func (s *sm) runEvents() {
 	for len(s.events) > 0 && s.events[0].cycle <= s.now {
 		e := heap.Pop(&s.events).(event)
+		if s.pf != nil {
+			s.pf.fired++
+		}
 		e.fn()
 	}
 }

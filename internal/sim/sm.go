@@ -6,6 +6,7 @@ import (
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
+	"pilotrf/internal/perfscope"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/rfc"
@@ -56,6 +57,8 @@ type sm struct {
 	tel *smTelemetry
 	// Energy attribution (nil unless Config.Energy is set).
 	en *smEnergy
+	// Perfscope census + phase timing (nil unless Config.Perf is set).
+	pf *smPerf
 	// telCollectorMark holds the CollectorStalls count at the start of
 	// the current cycle, so the stall classifier can tell whether an
 	// otherwise-ready warp lost only the structural collector hazard.
@@ -126,6 +129,9 @@ func newSM(id int, cfg *Config, run *runState) (*sm, error) {
 	}
 	if cfg.Energy != nil {
 		s.en = newSMEnergy(cfg.Energy, run.enKernel, cfg.WarpSlotsPerSM)
+	}
+	if cfg.Perf != nil {
+		s.pf = newSMPerf(cfg.Perf)
 	}
 	perSched := cfg.WarpSlotsPerSM / cfg.Schedulers
 	for i := 0; i < cfg.Schedulers; i++ {
@@ -243,11 +249,25 @@ func (s *sm) busy() bool {
 	return s.liveWarps > 0 || len(s.events) > 0
 }
 
-// tick advances the SM by one cycle.
+// tick advances the SM by one cycle. The perfscope hooks (s.pf) are
+// purely observational: phase laps read the monotonic clock between
+// stages and the end-of-tick census classifies the cycle; disabled,
+// each hook is one nil check.
 func (s *sm) tick() {
+	pf := s.pf
+	var t0 int64
+	if pf != nil {
+		t0 = pf.begin()
+	}
 	s.runEvents()
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseEvents, t0)
+	}
 	if s.inj != nil {
 		s.faultTick()
+		if pf != nil {
+			t0 = pf.lap(perfscope.PhaseFault, t0)
+		}
 	}
 	s.issuedEpoch = 0
 	if s.tel != nil {
@@ -256,8 +276,17 @@ func (s *sm) tick() {
 	for _, sc := range s.schedulers {
 		s.scheduleIssue(sc)
 	}
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseIssue, t0)
+	}
 	s.tickCollectors()
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseCollect, t0)
+	}
 	s.tickBanks()
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseBanks, t0)
+	}
 	if a := s.rf.Adaptive(); a != nil {
 		a.OnIssue(s.issuedEpoch)
 		a.Tick()
@@ -277,13 +306,26 @@ func (s *sm) tick() {
 	for b := range s.banks {
 		s.run.stats.BankQueueSum += uint64(len(s.banks[b].queue))
 	}
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseAdaptive, t0)
+	}
 	if s.tel != nil {
 		s.observeCycle()
+	}
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseTelemetry, t0)
 	}
 	if s.en != nil {
 		s.energyCycle()
 	}
+	if pf != nil {
+		t0 = pf.lap(perfscope.PhaseEnergy, t0)
+	}
 	s.recordTick()
+	if pf != nil {
+		pf.lap(perfscope.PhaseRecord, t0)
+		s.censusCycle()
+	}
 	s.now++
 }
 
@@ -596,6 +638,9 @@ func (s *sm) tickCollectors() {
 			continue
 		}
 		s.collectors--
+		if s.pf != nil {
+			s.pf.dispatched++
+		}
 		s.dispatch(col)
 	}
 	s.pendingCollectors = kept

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds, matching the
+// conventional Prometheus client defaults: they span 5 ms to 10 s, which
+// covers everything from a /healthz round trip to a full campaign job
+// admission on a loaded pool.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket distribution metric. Bucket upper bounds
+// are fixed at construction; Observe is a handful of atomic operations
+// with no allocation, safe for concurrent use. The implicit final bucket
+// catches every observation above the last bound (the "+Inf" bucket of
+// Prometheus exposition).
+type Histogram struct {
+	// bounds are the inclusive upper bounds, strictly increasing and
+	// finite; counts has one extra slot for the overflow bucket.
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram returns a histogram over the given inclusive upper
+// bounds. It panics unless the bounds are finite and strictly
+// increasing, and at least one bound is given — histogram shape is a
+// programming decision, not an input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("telemetry: histogram bound %d is %v", i, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not strictly increasing at %d (%g <= %g)",
+				i, b, bounds[i-1]))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// Observe records one sample. The hot path is a linear scan over the
+// bounds (histograms are small by construction) plus three atomics; it
+// never allocates.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Sample implements Metric with the observation count; Snapshot expands
+// histograms into _count/_sum/quantile points instead of using this
+// directly.
+func (h *Histogram) Sample() float64 { return float64(h.count.Load()) }
+
+// Buckets returns the bucket upper bounds and a snapshot of the
+// per-bucket counts; the final count is the overflow ("+Inf") bucket, so
+// len(counts) == len(bounds)+1. Counts are non-cumulative.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return h.bounds, counts
+}
+
+// Quantile estimates the q-quantile (q in [0,1], clamped) by linear
+// interpolation within the bucket that crosses the rank, the same
+// estimate Prometheus' histogram_quantile computes. An empty histogram
+// reports 0; ranks landing in the overflow bucket report the highest
+// finite bound (the estimate is a lower bound there).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		return lower + (h.bounds[i]-lower)*(rank-cum)/c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bounds on first use. It panics if the name is already bound
+// to a non-histogram metric. The bounds of an existing histogram are
+// kept; callers registering the same name must agree on shape.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: metric %q is a %T, not a histogram", name, m))
+		}
+		return h
+	}
+	h := NewHistogram(bounds)
+	r.metrics[name] = h
+	return h
+}

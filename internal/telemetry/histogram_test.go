@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 108.0; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 3 || len(counts) != 4 {
+		t.Fatalf("buckets shape bounds=%d counts=%d", len(bounds), len(counts))
+	}
+	// le=1 holds {0.5, 1}; le=2 holds {1.5, 2}; le=5 holds {3}; +Inf {100}.
+	want := []uint64{2, 2, 1, 1}
+	for i, c := range counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: quantiles report 0, not NaN — the snapshot path
+	// marshals them into JSON, which rejects NaN.
+	h := NewHistogram([]float64{1, 2})
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+
+	// Single bucket: every rank interpolates inside [0, bound].
+	h = NewHistogram([]float64{10})
+	h.Observe(4)
+	h.Observe(6)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("single-bucket median = %g, want 5 (interpolated)", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("single-bucket p100 = %g, want 10", got)
+	}
+
+	// Overflow bucket: ranks past the last finite bound clamp to it.
+	h = NewHistogram([]float64{1, 2})
+	h.Observe(50)
+	h.Observe(60)
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want 2 (highest finite bound)", got)
+	}
+
+	// Out-of-range q clamps instead of extrapolating.
+	h = NewHistogram([]float64{4})
+	h.Observe(2)
+	if got := h.Quantile(-1); got != 0 {
+		t.Errorf("Quantile(-1) = %g, want 0", got)
+	}
+	if got := h.Quantile(7); got != 4 {
+		t.Errorf("Quantile(7) = %g, want 4", got)
+	}
+
+	// Interpolation across multiple buckets lands in the right one.
+	h = NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 3.5} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.75); got < 2 || got > 4 {
+		t.Errorf("p75 = %g, want within bucket (2,4]", got)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	cases := [][]float64{
+		{},
+		{1, 1},
+		{2, 1},
+		{math.NaN()},
+		{math.Inf(1)},
+	}
+	for _, bounds := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (run under -race in CI): the total count and sum must come
+// out exact, proving Observe's atomics don't lose updates.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(goroutines*per); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+	var wantSum float64
+	for i := 0; i < per; i++ {
+		wantSum += float64(i%100) / 100
+	}
+	wantSum *= goroutines
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", got, wantSum)
+	}
+	_, counts := h.Buckets()
+	var n uint64
+	for _, c := range counts {
+		n += c
+	}
+	if n != uint64(goroutines*per) {
+		t.Errorf("bucket counts sum to %d, want %d", n, goroutines*per)
+	}
+}
+
+// TestHistogramObserveZeroAlloc pins the hot path: recording a sample
+// allocates nothing.
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewHistogram(DefBuckets)
+	if a := testing.AllocsPerRun(1000, func() { h.Observe(0.042) }); a != 0 {
+		t.Errorf("Observe allocates %.1f per call, want 0", a)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2})
+	if h2 := r.Histogram("lat", []float64{9}); h2 != h {
+		t.Error("second Histogram(lat) returned a different histogram")
+	}
+	r.Counter("hits")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Histogram over a counter name did not panic")
+			}
+		}()
+		r.Histogram("hits", []float64{1})
+	}()
+
+	h.Observe(0.5)
+	h.Observe(3)
+	m := r.Map()
+	if m["lat_count"] != 2 {
+		t.Errorf("snapshot lat_count = %v, want 2", m["lat_count"])
+	}
+	if m["lat_sum"] != 3.5 {
+		t.Errorf("snapshot lat_sum = %v, want 3.5", m["lat_sum"])
+	}
+	if _, ok := m["lat_p99"]; !ok {
+		t.Error("snapshot missing lat_p99")
+	}
+	if _, ok := m["lat"]; ok {
+		t.Error("snapshot leaked the raw histogram name as a scalar")
+	}
+}

@@ -18,8 +18,9 @@ var liveRegistry atomic.Pointer[Registry]
 var publishOnce sync.Once
 
 // LiveServer is a running diagnostics endpoint: expvar at /debug/vars,
-// pprof under /debug/pprof/, and the registry as "name value" text at
-// /metrics (or JSON with ?format=json).
+// pprof under /debug/pprof/, and the registry in Prometheus text
+// exposition at /metrics (JSON with ?format=json, plain "name value"
+// lines with ?format=text).
 type LiveServer struct {
 	// Addr is the bound listen address (useful with ":0").
 	Addr string
@@ -58,13 +59,19 @@ func NewMux(reg *Registry) *http.ServeMux {
 			http.Error(w, "no registry", http.StatusServiceUnavailable)
 			return
 		}
-		if req.URL.Query().Get("format") == "json" {
+		switch req.URL.Query().Get("format") {
+		case "json":
 			w.Header().Set("Content-Type", "application/json")
 			_ = json.NewEncoder(w).Encode(r.Map())
-			return
+		case "text":
+			// The pre-Prometheus "name value" dump, kept for humans and
+			// old scrapers.
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = r.WriteText(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = r.WriteText(w)
 	})
 	return mux
 }

@@ -115,11 +115,24 @@ type Point struct {
 }
 
 // Snapshot returns every metric's current value, sorted by name.
+// Histograms expand into derived points — name_count, name_sum, and the
+// p50/p95/p99 quantile estimates — so scalar consumers (expvar, the JSON
+// metrics page, WriteText) see finite numbers, never bucket vectors.
 func (r *Registry) Snapshot() []Point {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Point, 0, len(r.metrics))
 	for name, m := range r.metrics {
+		if h, ok := m.(*Histogram); ok {
+			out = append(out,
+				Point{Name: name + "_count", Value: float64(h.Count())},
+				Point{Name: name + "_sum", Value: h.Sum()},
+				Point{Name: name + "_p50", Value: h.Quantile(0.50)},
+				Point{Name: name + "_p95", Value: h.Quantile(0.95)},
+				Point{Name: name + "_p99", Value: h.Quantile(0.99)},
+			)
+			continue
+		}
 		out = append(out, Point{Name: name, Value: m.Sample()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

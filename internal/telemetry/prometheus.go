@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// PromName sanitizes a registry metric name into a legal Prometheus
+// metric name: every character outside [a-zA-Z0-9_:] becomes '_' (the
+// registry's dotted names turn into the conventional underscored form,
+// e.g. "sim.stall.barrier" -> "sim_stall_barrier"), and a leading digit
+// is prefixed with '_'.
+func PromName(name string) string {
+	out := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+// promFloat renders a sample value in the exposition format: the
+// shortest representation that round-trips, with +Inf/-Inf/NaN spelled
+// the way Prometheus parsers expect.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus dumps every metric in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative le-bucketed series plus _sum and _count.
+// Metrics are emitted in sorted (sanitized) name order, so equal
+// registry contents produce byte-identical pages.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type named struct {
+		name string
+		m    Metric
+	}
+	r.mu.Lock()
+	ms := make([]named, 0, len(r.metrics))
+	for name, m := range r.metrics {
+		ms = append(ms, named{PromName(name), m})
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	for _, nm := range ms {
+		switch m := nm.m.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n",
+				nm.name, nm.name, promFloat(m.Sample())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+				nm.name, nm.name, promFloat(m.Sample())); err != nil {
+				return err
+			}
+		case *Histogram:
+			bounds, counts := m.Buckets()
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", nm.name); err != nil {
+				return err
+			}
+			cum := uint64(0)
+			for i, b := range bounds {
+				cum += counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+					nm.name, promFloat(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(counts)-1]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+				nm.name, cum, nm.name, promFloat(m.Sum()), nm.name, m.Count()); err != nil {
+				return err
+			}
+		default:
+			// Future metric kinds degrade to untyped single samples.
+			if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n%s %s\n",
+				nm.name, nm.name, promFloat(m.Sample())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

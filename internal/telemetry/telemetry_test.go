@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -176,8 +177,21 @@ func TestLiveEndpoint(t *testing.T) {
 			break
 		}
 	}
-	if !strings.Contains(sb.String(), "sim.issued 123") {
-		t.Errorf("/metrics = %q, want sim.issued 123", sb.String())
+	if !strings.Contains(sb.String(), "sim_issued 123") {
+		t.Errorf("/metrics = %q, want Prometheus sample sim_issued 123", sb.String())
+	}
+	if !strings.Contains(sb.String(), "# TYPE sim_issued counter") {
+		t.Errorf("/metrics = %q, want a # TYPE comment", sb.String())
+	}
+
+	text, err := http.Get("http://" + ls.Addr + "/metrics?format=text")
+	if err != nil {
+		t.Fatalf("GET /metrics?format=text: %v", err)
+	}
+	tb, _ := io.ReadAll(text.Body)
+	text.Body.Close()
+	if !strings.Contains(string(tb), "sim.issued 123") {
+		t.Errorf("/metrics?format=text = %q, want sim.issued 123", tb)
 	}
 
 	vars, err := http.Get("http://" + ls.Addr + "/debug/vars")

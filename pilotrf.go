@@ -26,6 +26,7 @@ import (
 	"pilotrf/internal/energy"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
+	"pilotrf/internal/perfscope"
 	"pilotrf/internal/profile"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
@@ -266,6 +267,38 @@ func (s *Simulator) EnableMetrics(epochCycles int) *MetricsRecorder {
 	s.cfg.Stalls = true
 	return rec
 }
+
+// Perfscope types, re-exported for profiling the simulator itself:
+// wall-clock phase timings and the deterministic skip-headroom census.
+type (
+	// PerfProfiler aggregates per-SM censuses (and, when enabled, tick
+	// phase timings) folded in at kernel boundaries.
+	PerfProfiler = perfscope.Profiler
+	// PerfCensus classifies every SM cycle as busy, active-no-issue,
+	// skippable, or stalled-unknown; Skippable/SMCycles bounds the
+	// speedup an event-driven cycle loop could deliver.
+	PerfCensus = perfscope.Census
+	// PerfReport is the versioned (pilotrf-perfscope/v1) JSON report
+	// emitted by cmd/perfscope and pilotsim -perf-out.
+	PerfReport = perfscope.Report
+	// PerfEntry is one workload x design row of a PerfReport.
+	PerfEntry = perfscope.Entry
+)
+
+// EnablePerfscope makes subsequent runs profile the simulator itself
+// into the returned profiler: the deterministic skip-headroom census
+// always, and per-phase wall-clock timings when wallClock is set (wall
+// time is non-deterministic; leave it off for reproducible reports).
+// Render the profiler into a report row with perfscope.NewEntry. The
+// hooks are bit-identical to an unprofiled run either way.
+func (s *Simulator) EnablePerfscope(wallClock bool) *PerfProfiler {
+	p := perfscope.New(wallClock)
+	s.cfg.Perf = p
+	return p
+}
+
+// ReadPerfReport loads and validates a pilotrf-perfscope/v1 JSON report.
+func ReadPerfReport(path string) (*PerfReport, error) { return perfscope.ReadFile(path) }
 
 // Flight recorder types, re-exported for deterministic run capture,
 // replay verification, and cross-run divergence diffing.
