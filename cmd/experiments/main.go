@@ -34,6 +34,7 @@ import (
 	"pilotrf/internal/experiments"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
+	"pilotrf/internal/trace"
 )
 
 // runBenchJSON executes the root benchmark harness once and writes the
@@ -103,6 +104,7 @@ func run() int {
 		parallel  = flag.Int("parallel", jobs.DefaultWorkers(), "worker count for pre-running the shared simulations (0 disables the warm pass)")
 		httpAddr  = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
 		benchJSON = flag.String("bench-json", "", "run the root benchmark harness once and write parsed results as JSON to this file, then exit")
+		spansPath = flag.String("trace-spans", "", "write the warm pass's span tree here as pilotrf-spans/v1 NDJSON (requires -parallel > 0)")
 	)
 	flag.Parse()
 
@@ -180,7 +182,21 @@ func run() int {
 	}
 	if *parallel > 0 {
 		r.Workers = *parallel
+		if *spansPath != "" {
+			r.Trace = trace.NewRecorder(true)
+		}
 		r.Warm()
+		if r.Trace != nil {
+			spans := r.Trace.Spans()
+			if err := trace.WriteSpansFile(*spansPath, spans); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d warm-pass spans to %s\n", len(spans), *spansPath)
+		}
+	} else if *spansPath != "" {
+		fmt.Fprintln(os.Stderr, "-trace-spans requires -parallel > 0 (the warm pass is what gets traced)")
+		return 2
 	}
 
 	if sel("fig1") {

@@ -23,6 +23,7 @@
 //	faultcampaign [-bench csv] [-designs csv] [-protect csv]
 //	              [-trials n] [-rate f] [-seed n] [-scale f] [-sms n]
 //	              [-parallel n] [-cache-dir dir]
+//	              [-trace-spans spans.ndjson] [-trace-perfetto trace.json]
 //	              [-out report.json] [-v]
 //
 // The golden runs and every cell's trials are independent simulations;
@@ -36,6 +37,14 @@
 //
 // The whole campaign derives from -seed: equal flags produce a
 // byte-identical report.
+//
+// -trace-spans records the campaign's span tree (golden runs, cells,
+// trials, pool tasks, cache annotations) as pilotrf-spans/v1 NDJSON;
+// the span ids and parentage are derived from the campaign spec, so
+// the tree is identical at any -parallel, while wall-clock timings
+// ride in clearly separated nondeterministic sections. -trace-perfetto
+// additionally converts the same recording to Chrome/Perfetto
+// trace_event JSON for ui.perfetto.dev.
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 
 	"pilotrf/internal/campaign"
 	"pilotrf/internal/jobs"
+	"pilotrf/internal/trace"
 )
 
 // Schema identifies the report format; bump on incompatible change.
@@ -104,7 +114,9 @@ func run(args []string, stdout io.Writer) error {
 		parallel  = fs.Int("parallel", jobs.DefaultWorkers(), "worker count for golden runs and trials (1 = sequential; same bytes either way)")
 		cacheDir  = fs.String("cache-dir", "", "persist golden runs and finished cells here (content-addressed; corrupt entries recompute)")
 		outPath   = fs.String("out", "", "write the JSON report here (empty = stdout)")
-		verbose   = fs.Bool("v", false, "print a per-cell summary table")
+		spansPath = fs.String("trace-spans", "", "write the campaign span tree here as pilotrf-spans/v1 NDJSON")
+		perfPath  = fs.String("trace-perfetto", "", "write the campaign span tree here as Perfetto trace_event JSON")
+		verbose   = fs.Bool("v", false, "print a per-cell summary table and a cache summary line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -149,6 +161,14 @@ func run(args []string, stdout io.Writer) error {
 	defer pool.Close()
 
 	opt := campaign.Options{Pool: pool, Cache: cache}
+	var rec *trace.Recorder
+	if *spansPath != "" || *perfPath != "" {
+		// Wall-clock sections on: the CLI recording is for humans
+		// reading waterfalls, and the deterministic projection is still
+		// recoverable via trace.StripWall.
+		rec = trace.NewRecorder(true)
+		opt.Trace = rec
+	}
 	if *verbose {
 		fmt.Fprintf(stdout, "%-14s %-8s %-10s %7s %7s %7s %7s %9s\n",
 			"design", "protect", "bench", "masked", "corr", "unrec", "sdc", "injected")
@@ -164,22 +184,46 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if rec != nil {
+		spans := rec.Spans()
+		if *spansPath != "" {
+			if err := trace.WriteSpansFile(*spansPath, spans); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(spans), *spansPath)
+		}
+		if *perfPath != "" {
+			f, err := os.Create(*perfPath)
+			if err != nil {
+				return err
+			}
+			if err := trace.WritePerfetto(f, spans); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s\n", *perfPath)
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
 	buf = append(buf, '\n')
-	if *outPath == "" {
-		_, err := stdout.Write(buf)
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d cells to %s\n", len(rep.Cells), *outPath)
+	} else if _, err := stdout.Write(buf); err != nil {
 		return err
 	}
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "wrote %d cells to %s\n", len(rep.Cells), *outPath)
-	if cache != nil {
+	if *verbose && cache != nil {
 		st := cache.Stats()
-		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d misses (%d corrupt), %d writes\n",
+		fmt.Fprintf(stdout, "cache %s: %d hits, %d misses (%d corrupt), %d writes\n",
 			cache.Dir(), st.Hits, st.Misses, st.Corrupt, st.Puts)
 	}
 	return nil

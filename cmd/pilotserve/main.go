@@ -28,17 +28,29 @@
 //	                       "version"}: 200 with status "ok" while
 //	                       serving, 503 with status "draining" while
 //	                       draining.
-//	GET  /metrics        — serving + pool metrics in Prometheus text
-//	                       exposition (?format=json for a flat JSON map,
-//	                       ?format=text for the legacy dump); /debug/vars
-//	                       and /debug/pprof ride along via the telemetry
-//	                       mux.
+//	GET  /v1/jobs/{id}/trace
+//	                     — the finished job's span tree: admission,
+//	                       queue wait, campaign phases, golden runs,
+//	                       cells, trials, and pool tasks, as
+//	                       pilotrf-spans/v1 NDJSON (?format=perfetto for
+//	                       Chrome/Perfetto trace_event JSON). 409 while
+//	                       the job is still queued or running.
+//	GET  /metrics        — serving + pool + cache metrics in Prometheus
+//	                       text exposition (?format=json for a flat JSON
+//	                       map, ?format=text for the legacy dump);
+//	                       /debug/vars and /debug/pprof ride along via
+//	                       the telemetry mux.
 //
 // Every request carries an X-Request-ID (the caller's, or a generated
 // req-N), echoed on the response, stamped on each NDJSON progress line
 // of the jobs it admitted, and attached to every structured log record.
-// Logs are JSON (log/slog) on stderr; per-endpoint latency and
-// queue-wait histograms land in /metrics.
+// Requests also join W3C trace context: an inbound traceparent header's
+// trace id is adopted (the caller's span id is kept as the job root
+// span's w3c_parent attribute), otherwise one is minted; either way the
+// response carries a traceparent naming a fresh server span, and the
+// trace id is stamped on status lines and log records alongside the
+// request id. Logs are JSON (log/slog) on stderr; per-endpoint latency
+// and queue-wait histograms land in /metrics.
 //
 // SIGINT/SIGTERM drains gracefully: admission stops (503), running jobs
 // finish, then the process exits 0. A second signal forces exit 3.

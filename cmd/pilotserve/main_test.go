@@ -459,7 +459,7 @@ func TestHealthzJSON(t *testing.T) {
 // queue-wait histogram, and the serving counters.
 func TestMetricsPrometheus(t *testing.T) {
 	reg := telemetry.NewRegistry()
-	_, ts := newTestServer(t, serverConfig{workers: 1, reg: reg})
+	_, ts := newTestServer(t, serverConfig{workers: 1, reg: reg, cacheDir: t.TempDir()})
 	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
 	var sr submitResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
@@ -490,6 +490,15 @@ func TestMetricsPrometheus(t *testing.T) {
 		"serve_queue_wait_seconds_count 1",
 		"# TYPE serve_jobs_completed counter",
 		"serve_jobs_completed 1",
+		// Pool and cache internals surface alongside the serving
+		// series: steals/panics from the work-stealing pool, hit/miss
+		// accounting from the content-addressed result cache.
+		"# TYPE jobs_steals counter",
+		"# TYPE jobs_panics counter",
+		"# TYPE cache_hits counter",
+		"# TYPE cache_misses counter",
+		"# TYPE cache_corrupt counter",
+		"# TYPE cache_puts counter",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

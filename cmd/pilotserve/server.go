@@ -18,6 +18,7 @@ import (
 	"pilotrf/internal/campaign"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
+	"pilotrf/internal/trace"
 )
 
 // version is the build stamp reported by /healthz; stamp releases with
@@ -71,6 +72,13 @@ type serveJob struct {
 	reqID    string    // X-Request-ID of the submitting request
 	admitted time.Time // when admission accepted the job (queue-wait base)
 
+	// Span tracing: every job records its own trace tree, rooted at the
+	// job span and sharing the submitting request's trace id, served by
+	// GET /v1/jobs/{id}/trace once the job is terminal.
+	traceID string
+	rec     *trace.Recorder
+	root    *trace.ActiveSpan
+
 	mu      sync.Mutex
 	changed chan struct{} // closed and replaced on every update
 	state   string        // "queued" | "running" | "done" | "failed"
@@ -95,6 +103,7 @@ func (j *serveJob) update(f func()) {
 type jobStatus struct {
 	ID        string           `json:"id"`
 	RequestID string           `json:"request_id,omitempty"`
+	TraceID   string           `json:"trace_id,omitempty"`
 	State     string           `json:"state"`
 	Done      int              `json:"done"`
 	Total     int              `json:"total"`
@@ -108,7 +117,7 @@ func (j *serveJob) snapshot() (jobStatus, <-chan struct{}) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return jobStatus{
-		ID: j.id, RequestID: j.reqID, State: j.state, Done: j.done, Total: j.total,
+		ID: j.id, RequestID: j.reqID, TraceID: j.traceID, State: j.state, Done: j.done, Total: j.total,
 		Report: j.report, Error: j.errMsg,
 	}, j.changed
 }
@@ -176,6 +185,7 @@ func newServer(cfg serverConfig) (*server, error) {
 			pool.Close()
 			return nil, err
 		}
+		cache.Metrics(cfg.reg)
 	}
 	logger := cfg.log
 	if logger == nil {
@@ -210,15 +220,37 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
-// ctxKeyRequestID carries the request id through handler contexts.
+// ctxKeyRequestID carries the request id through handler contexts;
+// ctxKeyTrace carries the request's trace identity.
 type ctxKey int
 
-const ctxKeyRequestID ctxKey = iota
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTrace
+)
 
 // reqIDFrom extracts the request id placed by instrument.
 func reqIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(ctxKeyRequestID).(string)
 	return id
+}
+
+// traceInfo is the per-request trace identity instrument derives from
+// the inbound W3C traceparent (or mints): the trace id every span of
+// the request's jobs shares, the server-side request span id echoed in
+// the response traceparent, the caller's span id ("" when minted
+// fresh), and the wall-clock handler start job root spans begin at.
+type traceInfo struct {
+	trace   string
+	span    string
+	parent  string
+	startNS int64
+}
+
+// traceFrom extracts the trace identity placed by instrument.
+func traceFrom(ctx context.Context) traceInfo {
+	ti, _ := ctx.Value(ctxKeyTrace).(traceInfo)
+	return ti
 }
 
 // statusWriter records the response code for the request log while
@@ -244,7 +276,13 @@ func (w *statusWriter) Flush() {
 // instrument wraps a handler with request tracing: the caller's
 // X-Request-ID is adopted (or one is minted), echoed on the response,
 // threaded through the context, and stamped on the structured request
-// record; the handler's latency lands in its endpoint histogram.
+// record; the handler's latency lands in its endpoint histogram. The
+// same applies to the W3C traceparent: an inbound header's trace id is
+// honored (the caller's span id is remembered as the remote parent), a
+// missing or malformed one gets a freshly derived trace id, and the
+// response carries a well-formed traceparent naming this server's
+// request span, so external tracers can stitch the job's span tree
+// into their own.
 func (s *server) instrument(endpoint string, lat *telemetry.Histogram, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rid := r.Header.Get("X-Request-ID")
@@ -252,13 +290,26 @@ func (s *server) instrument(endpoint string, lat *telemetry.Histogram, h http.Ha
 			rid = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", rid)
+		tid, parentSpan, ok := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tid, parentSpan = trace.TraceID("pilotserve", rid), ""
+		}
+		ti := traceInfo{
+			trace:   tid,
+			span:    trace.SpanID(tid, "http", endpoint, rid),
+			parent:  parentSpan,
+			startNS: time.Now().UnixNano(),
+		}
+		w.Header().Set("traceparent", trace.FormatTraceparent(ti.trace, ti.span))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
-		h(sw, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, rid)))
+		ctx := context.WithValue(r.Context(), ctxKeyRequestID, rid)
+		ctx = context.WithValue(ctx, ctxKeyTrace, ti)
+		h(sw, r.WithContext(ctx))
 		dur := time.Since(t0).Seconds()
 		lat.Observe(dur)
 		s.log.Info("request",
-			"request_id", rid, "endpoint", endpoint, "method", r.Method,
+			"request_id", rid, "trace_id", ti.trace, "endpoint", endpoint, "method", r.Method,
 			"path", r.URL.Path, "status", sw.code, "duration_seconds", dur)
 	}
 }
@@ -367,6 +418,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	client := clientID(r)
 	rid := reqIDFrom(r.Context())
+	ti := traceFrom(r.Context())
 
 	// Admission is atomic over the whole batch: either every job is
 	// accepted or none, so callers never chase partial batches.
@@ -412,7 +464,26 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			changed:  make(chan struct{}),
 			state:    "queued",
 			total:    units[i],
+			traceID:  ti.trace,
 		}
+		// Each job records its own tree under the request's trace id.
+		// The root stays open until the job is terminal; an inbound
+		// traceparent's span is kept as an attribute (a link, not a
+		// parent) so the served tree always has exactly one root.
+		j.rec = trace.NewRecorder(true)
+		j.root = j.rec.Root("job", ti.trace, j.id)
+		j.root.SetWallStart(ti.startNS)
+		j.root.SetAttr("id", j.id)
+		j.root.SetAttr("request_id", rid)
+		j.root.SetAttr("client", client)
+		j.root.SetAttr("units", fmt.Sprintf("%d", j.units))
+		if ti.parent != "" {
+			j.root.SetAttr("w3c_parent", ti.parent)
+		}
+		admit := j.root.Context().Start("admit")
+		admit.SetWallStart(ti.startNS)
+		admit.SetAttr("units", fmt.Sprintf("%d", j.units))
+		admit.End()
 		s.jobsByID[j.id] = j
 		started[i] = j
 		resp.Jobs[i] = submittedJob{ID: j.id, Units: j.units}
@@ -457,11 +528,14 @@ func (s *server) runJob(j *serveJob) {
 
 	wait := time.Since(j.admitted)
 	s.hQueueWait.Observe(wait.Seconds())
+	queue := j.root.Context().Start("queue")
+	queue.SetWallStart(j.admitted.UnixNano())
+	queue.End()
 	j.update(func() { j.state = "running" })
-	s.log.Info("job running", "request_id", j.reqID, "job", j.id,
+	s.log.Info("job running", "request_id", j.reqID, "trace_id", j.traceID, "job", j.id,
 		"units", j.units, "queue_wait_seconds", wait.Seconds())
 	t0 := time.Now()
-	rep, err := campaign.Run(context.Background(), j.spec, campaign.Options{
+	rep, err := campaign.Run(trace.NewContext(context.Background(), j.root.Context()), j.spec, campaign.Options{
 		Pool:  s.pool,
 		Cache: s.cache,
 		Progress: func(done, total int) {
@@ -470,14 +544,18 @@ func (s *server) runJob(j *serveJob) {
 	})
 	if err != nil {
 		s.mFailed.Inc()
-		s.log.Error("job failed", "request_id", j.reqID, "job", j.id,
+		s.log.Error("job failed", "request_id", j.reqID, "trace_id", j.traceID, "job", j.id,
 			"duration_seconds", time.Since(t0).Seconds(), "error", err.Error())
+		j.root.SetAttr("state", "failed")
+		j.root.End() // before the terminal update: a client seeing it can fetch the tree
 		j.update(func() { j.state = "failed"; j.errMsg = err.Error() })
 		return
 	}
 	s.mCompleted.Inc()
-	s.log.Info("job done", "request_id", j.reqID, "job", j.id,
+	s.log.Info("job done", "request_id", j.reqID, "trace_id", j.traceID, "job", j.id,
 		"duration_seconds", time.Since(t0).Seconds())
+	j.root.SetAttr("state", "done")
+	j.root.End()
 	j.update(func() { j.state = "done"; j.report = &rep })
 }
 
@@ -490,6 +568,10 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if tid, ok := strings.CutSuffix(id, "/trace"); ok {
+		s.handleJobTrace(w, r, tid)
+		return
+	}
 	if id == "" || strings.Contains(id, "/") {
 		http.Error(w, "job id required", http.StatusNotFound)
 		return
@@ -522,5 +604,56 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
+	}
+}
+
+// handleJobTrace serves GET /v1/jobs/{id}/trace: the job's recorded
+// span tree as pilotrf-spans/v1 NDJSON (default) or a Perfetto
+// trace_event document (?format=perfetto). The tree is only complete
+// once the job is terminal — the root span closes right before the
+// terminal status publishes — so mid-run requests get 409 and clients
+// stream /v1/jobs/{id} to completion first. The tree is validated
+// before serving; a failed job whose campaign was torn down mid-batch
+// can legitimately have an inconsistent recording, reported as 500.
+func (s *server) handleJobTrace(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if id == "" || strings.Contains(id, "/") {
+		http.Error(w, "job id required", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	j, ok := s.jobsByID[id]
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown job "+id, http.StatusNotFound)
+		return
+	}
+	st, _ := j.snapshot()
+	if st.State != "done" && st.State != "failed" {
+		http.Error(w, "job "+id+" is "+st.State+"; the trace is served once it is done or failed", http.StatusConflict)
+		return
+	}
+	spans := j.rec.Spans()
+	if _, err := trace.BuildTree(spans); err != nil {
+		s.log.Error("trace invalid", "request_id", reqIDFrom(r.Context()), "job", id, "error", err.Error())
+		http.Error(w, "recorded span tree is inconsistent: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := trace.WriteSpans(w, spans); err != nil {
+			s.log.Error("trace write failed", "job", id, "error", err.Error())
+		}
+	case "perfetto":
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WritePerfetto(w, spans); err != nil {
+			s.log.Error("trace write failed", "job", id, "error", err.Error())
+		}
+	default:
+		http.Error(w, "unknown format (want ndjson or perfetto)", http.StatusBadRequest)
 	}
 }

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pilotrf/internal/trace"
+)
+
+// TestTraceparentPropagation is the end-to-end tracing contract: an
+// inbound W3C traceparent is honored (its trace id flows through NDJSON
+// status lines, slog records, and the served span tree; the caller's
+// span id is kept as the root's w3c_parent link), the response carries
+// a well-formed traceparent naming a fresh server-side span, and the
+// request id and trace id agree across every surface.
+func TestTraceparentPropagation(t *testing.T) {
+	var logBuf syncBuffer
+	_, ts := newTestServer(t, serverConfig{
+		workers: 1,
+		log:     slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+
+	inTrace := trace.TraceID("client-trace")
+	inSpan := trace.SpanID("client-span")
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(`{"jobs":[`+testSpecJSON+`]}`))
+	req.Header.Set("traceparent", trace.FormatTraceparent(inTrace, inSpan))
+	req.Header.Set("X-Request-ID", "span-me-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTrace, gotSpan, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("response traceparent %q malformed", resp.Header.Get("traceparent"))
+	}
+	if gotTrace != inTrace {
+		t.Fatalf("response trace id %s, want inbound %s", gotTrace, inTrace)
+	}
+	if gotSpan == inSpan {
+		t.Fatal("server echoed the caller's span id instead of minting its own")
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	jobID := sr.Jobs[0].ID
+
+	// Every NDJSON status line carries the inbound trace id alongside
+	// the request id.
+	stream, err := http.Get(ts.URL + "/v1/jobs/" + jobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lines := 0
+	for sc.Scan() {
+		var st jobStatus
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.TraceID != inTrace {
+			t.Fatalf("NDJSON line %d trace_id %q, want %s", lines, st.TraceID, inTrace)
+		}
+		if st.RequestID != "span-me-1" {
+			t.Fatalf("NDJSON line %d request_id %q, want span-me-1", lines, st.RequestID)
+		}
+		lines++
+	}
+	stream.Body.Close()
+	if lines == 0 {
+		t.Fatal("no NDJSON lines")
+	}
+
+	// The served span tree: valid, rooted at the job span, same trace
+	// id, w3c_parent links the caller's span, and the campaign nests
+	// under the job with admit/queue alongside.
+	traceResp, err := http.Get(ts.URL + "/v1/jobs/" + jobID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceResp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(traceResp.Body)
+		t.Fatalf("GET trace: status %d: %s", traceResp.StatusCode, body)
+	}
+	if ct := traceResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace content type %q", ct)
+	}
+	spans, err := trace.ReadSpans(traceResp.Body)
+	traceResp.Body.Close()
+	if err != nil {
+		t.Fatalf("trace endpoint served unreadable spans: %v", err)
+	}
+	root, err := trace.BuildTree(spans)
+	if err != nil {
+		t.Fatalf("served tree invalid: %v", err)
+	}
+	if root.Name != "job" || root.Trace != inTrace {
+		t.Fatalf("root %q trace %s, want job span under %s", root.Name, root.Trace, inTrace)
+	}
+	if root.Attrs["w3c_parent"] != inSpan {
+		t.Fatalf("root w3c_parent %q, want caller span %s", root.Attrs["w3c_parent"], inSpan)
+	}
+	if root.Attrs["request_id"] != "span-me-1" || root.Attrs["id"] != jobID {
+		t.Fatalf("root attrs disagree with request/job ids: %v", root.Attrs)
+	}
+	names := map[string]int{}
+	for _, s := range spans {
+		names[s.Name]++
+	}
+	for _, want := range []string{"admit", "queue", "campaign", "cell", "trial", "pool.task"} {
+		if names[want] == 0 {
+			t.Errorf("served tree missing %s span (have %v)", want, names)
+		}
+	}
+
+	// slog records carry the trace id on request and job lifecycle
+	// lines.
+	logs := logBuf.String()
+	if got := strings.Count(logs, `"trace_id":"`+inTrace+`"`); got < 3 {
+		t.Errorf("inbound trace id appears %d times in the log, want >= 3:\n%s", got, logs)
+	}
+}
+
+// TestTraceparentMinted: a request without a traceparent gets a
+// well-formed minted one, and the job's tree roots under that minted
+// trace with no w3c_parent link.
+func TestTraceparentMinted(t *testing.T) {
+	_, ts := newTestServer(t, serverConfig{workers: 1})
+	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	tid, _, ok := trace.ParseTraceparent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("minted traceparent %q malformed", resp.Header.Get("traceparent"))
+	}
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	last := streamJob(t, ts, sr.Jobs[0].ID)
+	if last.TraceID != tid {
+		t.Fatalf("status trace_id %q, want minted %s", last.TraceID, tid)
+	}
+	traceResp, err := http.Get(ts.URL + "/v1/jobs/" + sr.Jobs[0].ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	spans, err := trace.ReadSpans(traceResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := trace.BuildTree(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Trace != tid {
+		t.Fatalf("tree trace %s, want minted %s", root.Trace, tid)
+	}
+	if _, linked := root.Attrs["w3c_parent"]; linked {
+		t.Fatal("minted trace should have no w3c_parent link")
+	}
+}
+
+// TestJobTraceEndpointStates covers the endpoint's error surface:
+// unknown job, mid-run 409, bad format, and the Perfetto conversion.
+func TestJobTraceEndpointStates(t *testing.T) {
+	s, ts := newTestServer(t, serverConfig{workers: 1})
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/job-999/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown job trace: status %d, want 404", resp.StatusCode)
+		}
+	}
+
+	// A still-running job answers 409 (white-box: plant a running job).
+	rec := trace.NewRecorder(true)
+	running := &serveJob{
+		id: "job-test-running", state: "running", changed: make(chan struct{}),
+		rec: rec, root: rec.Root("job", trace.TraceID("t"), "job-test-running"),
+		admitted: time.Now(),
+	}
+	s.mu.Lock()
+	s.jobsByID[running.id] = running
+	s.mu.Unlock()
+	if resp, err := http.Get(ts.URL + "/v1/jobs/job-test-running/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Fatalf("running job trace: status %d, want 409", resp.StatusCode)
+		}
+	}
+
+	// Finish a real job, then exercise formats.
+	resp := submit(t, ts, `{"jobs":[`+testSpecJSON+`]}`)
+	var sr submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	streamJob(t, ts, sr.Jobs[0].ID)
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/" + sr.Jobs[0].ID + "/trace?format=bogus"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bogus format: status %d, want 400", resp.StatusCode)
+		}
+	}
+
+	pf, err := http.Get(ts.URL + "/v1/jobs/" + sr.Jobs[0].ID + "/trace?format=perfetto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Body.Close()
+	if pf.StatusCode != http.StatusOK {
+		t.Fatalf("perfetto: status %d", pf.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(pf.Body).Decode(&doc); err != nil {
+		t.Fatalf("perfetto output not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 5 {
+		t.Fatalf("perfetto trace has %d events", len(doc.TraceEvents))
+	}
+}

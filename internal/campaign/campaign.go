@@ -22,12 +22,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"pilotrf/internal/fault"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
+	"pilotrf/internal/trace"
 	"pilotrf/internal/workloads"
 )
 
@@ -236,6 +238,16 @@ type Options struct {
 	// order (design-major, then workload, then scheme) from the Run
 	// goroutine — safe for ordered printing.
 	CellDone func(c Cell)
+	// Trace, when non-nil, records a span tree for the run: a campaign
+	// root (unless ctx already carries a span, in which case the
+	// campaign span becomes its child), phase spans for the golden and
+	// trial batches, one span per golden / cell / trial with cache and
+	// outcome annotations, and the pool's per-task spans underneath.
+	// Span ids derive from the content-addressed cache keys and
+	// submission indices, so the tree is identical at any worker count;
+	// tracing changes no simulated cycles and leaves the report
+	// byte-identical (both test-asserted).
+	Trace *trace.Recorder
 }
 
 // trialSeed derives the fault seed of one trial from the campaign seed.
@@ -298,6 +310,7 @@ func (p *plan) cellKey(design string, w workloads.Workload, scheme string) jobs.
 // trialResult is one seeded trial's contribution to its cell.
 type trialResult struct {
 	outcome func(*Outcomes) *int // which Outcomes counter to bump
+	label   string               // the outcome's report name (span annotation)
 	stats   fault.Stats
 }
 
@@ -336,24 +349,52 @@ func runTrial(cfg sim.Config, w workloads.Workload, golden goldenSnapshot, schem
 	switch {
 	case errors.As(err, &ue):
 		tr.outcome = func(o *Outcomes) *int { return &o.DetectedUnrecoverable }
+		tr.label = "detected_unrecoverable"
 	case errors.Is(err, sim.ErrCycleLimit):
 		// A fault corrupted control flow into a runaway loop; the
 		// watchdog caught it. Nothing detected it architecturally, so
 		// it is silent corruption, not graceful degradation.
 		tr.outcome = func(o *Outcomes) *int { return &o.SDC }
+		tr.label = "sdc"
 	case err != nil:
 		// Anything but a clean fault abort is a campaign bug.
 		return trialResult{}, err
 	default:
 		if _, div := probe.DivergedFromDigests(golden.Digests); div {
 			tr.outcome = func(o *Outcomes) *int { return &o.SDC }
+			tr.label = "sdc"
 		} else if st.Corrected+st.RetrySuccess+st.CAMRepaired > 0 {
 			tr.outcome = func(o *Outcomes) *int { return &o.Corrected }
+			tr.label = "corrected"
 		} else {
 			tr.outcome = func(o *Outcomes) *int { return &o.Masked }
+			tr.label = "masked"
 		}
 	}
 	return tr, nil
+}
+
+// specKey fingerprints a compiled spec — the content-addressed identity
+// a standalone campaign's trace id derives from, so equal specs map to
+// equal trace ids across runs and machines.
+func (p *plan) specKey() jobs.Key {
+	s := p.spec
+	names := make([]string, len(p.wls))
+	for i, w := range p.wls {
+		names[i] = w.Name
+	}
+	return jobs.NewKey().
+		Field("kind", "campaign").
+		Field("schema", Schema).
+		Field("designs", strings.Join(s.Designs, ",")).
+		Field("protect", strings.Join(s.Protect, ",")).
+		Field("bench", strings.Join(names, ",")).
+		Int("trials", int64(s.Trials)).
+		Float("rate", s.Rate).
+		Uint("seed", s.Seed).
+		Float("scale", s.Scale).
+		Int("sms", int64(s.SMs)).
+		Sum()
 }
 
 // Run executes the campaign on the pool and returns the report. The
@@ -375,6 +416,38 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+
+	// Span tracing. The campaign span hangs under the caller's span when
+	// ctx carries one (the job server's per-job root) and otherwise roots
+	// a fresh trace whose id derives from the spec fingerprint. Every
+	// span opened on this goroutine is tracked and closed by the deferred
+	// sweep, so error returns never leave a recorded child with an
+	// unrecorded parent.
+	var open []*trace.ActiveSpan
+	track := func(sp *trace.ActiveSpan) *trace.ActiveSpan {
+		if sp != nil {
+			open = append(open, sp)
+		}
+		return sp
+	}
+	defer func() {
+		for i := len(open) - 1; i >= 0; i-- {
+			open[i].End() // idempotent: already-ended spans no-op
+		}
+	}()
+	var camp *trace.ActiveSpan
+	if sc := trace.FromContext(ctx); sc.Active() {
+		camp = track(sc.Start("campaign"))
+	} else if opt.Trace != nil {
+		key := p.specKey()
+		camp = track(opt.Trace.Root("campaign", trace.TraceID("pilotrf-campaign", key.Preimage()), key.Hex()))
+	}
+	camp.SetAttr("designs", strings.Join(s.Designs, ","))
+	camp.SetAttr("protect", strings.Join(s.Protect, ","))
+	camp.SetAttr("trials", strconv.Itoa(s.Trials))
+	camp.SetAttr("seed", strconv.FormatUint(s.Seed, 10))
+	camp.SetAttr("jobs", strconv.Itoa(totalJobs))
+	campSC := camp.Context()
 	// done is only touched from one goroutine at a time: the Run
 	// goroutine during the golden and cell-admission phases, then the
 	// drain goroutine (started strictly after) while trials execute.
@@ -403,6 +476,11 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 			var snap goldenSnapshot
 			if opt.Cache.Get(key, &snap) && len(snap.Digests) == len(w.Kernels) && snap.Cycles > 0 {
 				goldens[goldenAt(di, wi)] = snap
+				gsp := campSC.Start("golden", key.Hex())
+				gsp.SetAttr("design", name)
+				gsp.SetAttr("workload", p.wls[wi].Name)
+				gsp.SetAttr("cache", "hit")
+				gsp.End()
 				report(1)
 				continue
 			}
@@ -410,8 +488,17 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 		}
 	}
 	if len(missing) > 0 {
-		results, err := jobs.Map(ctx, opt.Pool, len(missing), func(ctx context.Context, i int) (interface{}, error) {
+		gphase := track(campSC.Start("phase.golden"))
+		gphase.SetAttr("count", strconv.Itoa(len(missing)))
+		gsc := gphase.Context()
+		gctx := trace.NewContext(ctx, gsc)
+		results, err := jobs.Map(gctx, opt.Pool, len(missing), func(ctx context.Context, i int) (interface{}, error) {
 			j := missing[i]
+			sp := gsc.Start("golden", j.key.Hex())
+			defer sp.End()
+			sp.SetAttr("design", s.Designs[j.di])
+			sp.SetAttr("workload", p.wls[j.wi].Name)
+			sp.SetAttr("cache", "miss")
 			cfg := sim.DefaultConfig().WithDesign(p.designs[j.di])
 			cfg.NumSMs = s.SMs
 			w := p.wls[j.wi].Scale(s.Scale)
@@ -419,11 +506,13 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("golden %s/%s: %w", s.Designs[j.di], w.Name, err)
 			}
+			sp.SetAttr("cycles", strconv.FormatInt(snap.Cycles, 10))
 			return snap, nil
 		})
 		if err != nil {
 			return Report{}, err
 		}
+		gphase.End()
 		for i, v := range results {
 			j := missing[i]
 			snap := v.(goldenSnapshot)
@@ -444,12 +533,28 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 		cached   bool
 		key      jobs.Key
 		firstJob int // index of the cell's first trial task, -1 if cached
+		span     *trace.ActiveSpan
 	}
 	var slots []cellSlot
 	type trialJob struct {
 		di, wi, si, trial int
+		slot              int
 	}
 	var tjobs []trialJob
+	cellSpan := func(slot *cellSlot, dname, wname, sname, cache string) *trace.ActiveSpan {
+		sp := campSC.Start("cell", slot.key.Hex())
+		sp.SetAttr("design", dname)
+		sp.SetAttr("workload", wname)
+		sp.SetAttr("protect", sname)
+		sp.SetAttr("cache", cache)
+		return sp
+	}
+	outcomeAttrs := func(sp *trace.ActiveSpan, o Outcomes) {
+		sp.SetAttr("masked", strconv.Itoa(o.Masked))
+		sp.SetAttr("corrected", strconv.Itoa(o.Corrected))
+		sp.SetAttr("detected_unrecoverable", strconv.Itoa(o.DetectedUnrecoverable))
+		sp.SetAttr("sdc", strconv.Itoa(o.SDC))
+	}
 	for di, dname := range s.Designs {
 		for wi := range p.wls {
 			for si, sname := range s.Protect {
@@ -459,14 +564,18 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 					cached.Design == dname && cached.Workload == p.wls[wi].Name && cached.Protection == sname {
 					slot.cell = cached
 					slot.cached = true
+					sp := cellSpan(&slot, dname, p.wls[wi].Name, sname, "hit")
+					outcomeAttrs(sp, cached.Outcomes)
+					sp.End()
 					report(s.Trials)
 					slots = append(slots, slot)
 					continue
 				}
 				slot.cell = Cell{Design: dname, Protection: sname, Workload: p.wls[wi].Name}
 				slot.firstJob = len(tjobs)
+				slot.span = track(cellSpan(&slot, dname, p.wls[wi].Name, sname, "miss"))
 				for t := 0; t < s.Trials; t++ {
-					tjobs = append(tjobs, trialJob{di: di, wi: wi, si: si, trial: t})
+					tjobs = append(tjobs, trialJob{di: di, wi: wi, si: si, trial: t, slot: len(slots)})
 				}
 				slots = append(slots, slot)
 			}
@@ -474,7 +583,11 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 	}
 
 	var trialResults []jobs.Result
+	var tphase *trace.ActiveSpan
 	if len(tjobs) > 0 {
+		tphase = track(campSC.Start("phase.trials"))
+		tphase.SetAttr("count", strconv.Itoa(len(tjobs)))
+		tctx := trace.NewContext(ctx, tphase.Context())
 		tasks := make([]jobs.Task, len(tjobs))
 		var doneJobs chan int
 		if opt.Progress != nil {
@@ -483,20 +596,26 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 		for i := range tasks {
 			j := tjobs[i]
 			tasks[i] = func(ctx context.Context) (interface{}, error) {
+				seed := trialSeed(s.Seed, j.trial)
+				sp := slots[j.slot].span.Context().Start("trial", strconv.Itoa(j.trial))
+				defer sp.End()
+				sp.SetAttr("trial", strconv.Itoa(j.trial))
+				sp.SetAttr("seed", strconv.FormatUint(seed, 10))
 				cfg := sim.DefaultConfig().WithDesign(p.designs[j.di])
 				cfg.NumSMs = s.SMs
 				w := p.wls[j.wi].Scale(s.Scale)
-				tr, err := runTrial(cfg, w, goldens[goldenAt(j.di, j.wi)], p.schemes[j.si], s.Rate, trialSeed(s.Seed, j.trial))
+				tr, err := runTrial(cfg, w, goldens[goldenAt(j.di, j.wi)], p.schemes[j.si], s.Rate, seed)
 				if err != nil {
 					return nil, fmt.Errorf("%s/%s/%s: %w", s.Designs[j.di], s.Protect[j.si], w.Name, err)
 				}
+				sp.SetAttr("outcome", tr.label)
 				if doneJobs != nil {
 					doneJobs <- 1
 				}
 				return tr, nil
 			}
 		}
-		batch, err := opt.Pool.Submit(ctx, tasks)
+		batch, err := opt.Pool.Submit(tctx, tasks)
 		if err != nil {
 			return Report{}, err
 		}
@@ -534,6 +653,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 		if drained != nil {
 			<-drained
 		}
+		tphase.End()
 	}
 
 	// Fold trials into cells in canonical order; surface the first
@@ -558,6 +678,8 @@ func Run(ctx context.Context, spec Spec, opt Options) (Report, error) {
 			if err := opt.Cache.Put(slot.key, slot.cell); err != nil {
 				return Report{}, err
 			}
+			outcomeAttrs(slot.span, slot.cell.Outcomes)
+			slot.span.End()
 		}
 		rep.Cells = append(rep.Cells, slot.cell)
 		if opt.CellDone != nil {

@@ -10,6 +10,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"pilotrf/internal/isa"
@@ -18,6 +19,7 @@ import (
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/sim"
 	"pilotrf/internal/stats"
+	"pilotrf/internal/trace"
 	"pilotrf/internal/workloads"
 )
 
@@ -36,6 +38,12 @@ type Runner struct {
 	// value — the pool merges deterministically and every run is
 	// independent — so this only trades wall-clock for cores.
 	Workers int
+	// Trace, when non-nil, records Warm's execution as a span tree:
+	// one experiments.warm root, one warm.run span per (workload,
+	// configuration) pair, plus the pool's per-task spans. Span ids
+	// derive from the warm grid, not scheduling, so the tree shape is
+	// identical at any Workers.
+	Trace *trace.Recorder
 
 	mu       sync.Mutex
 	cache    map[string]sim.RunStats
@@ -167,10 +175,26 @@ func (r *Runner) Warm() {
 	}
 	defer pool.Close()
 	all := workloads.All()
-	if _, err := jobs.Map(context.Background(), pool, len(all)*len(warmJobs),
+	ctx := context.Background()
+	var root *trace.ActiveSpan
+	if r.Trace != nil {
+		root = r.Trace.Root("experiments.warm", trace.TraceID("pilotrf-experiments", "warm"))
+		root.SetAttr("workloads", strconv.Itoa(len(all)))
+		root.SetAttr("configs", strconv.Itoa(len(warmJobs)))
+		defer root.End()
+		ctx = trace.NewContext(ctx, root.Context())
+	}
+	sc := trace.FromContext(ctx)
+	if _, err := jobs.Map(ctx, pool, len(all)*len(warmJobs),
 		func(ctx context.Context, i int) (interface{}, error) {
 			w := all[i/len(warmJobs)]
 			j := warmJobs[i%len(warmJobs)]
+			if sc.Active() {
+				sp := sc.Start("warm.run", w.Name, j.key)
+				sp.SetAttr("workload", w.Name)
+				sp.SetAttr("config", j.key)
+				defer sp.End()
+			}
 			r.run(w, j.cfg(), j.key)
 			return nil, nil
 		}); err != nil {

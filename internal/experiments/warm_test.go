@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"bytes"
 	"testing"
 
+	"pilotrf/internal/trace"
 	"pilotrf/internal/workloads"
 )
 
@@ -82,5 +84,53 @@ func TestRunConcurrentDuplicates(t *testing.T) {
 		if results[i] != results[0] {
 			t.Fatalf("caller %d saw different cycles: %d vs %d", i, results[i], results[0])
 		}
+	}
+}
+
+// TestWarmTraceSpans: a traced warm pass records one experiments.warm
+// root with one warm.run span per (workload, config) pair, forming a
+// valid tree whose deterministic projection is identical at any worker
+// count.
+func TestWarmTraceSpans(t *testing.T) {
+	traced := func(workers int) []trace.Span {
+		r := NewRunner(0.05, 1)
+		r.Workers = workers
+		r.Trace = trace.NewRecorder(false)
+		r.Warm()
+		return r.Trace.Spans()
+	}
+	one := traced(1)
+	four := traced(4)
+
+	var a, b bytes.Buffer
+	if err := trace.WriteSpans(&a, one); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteSpans(&b, four); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("warm span tree differs between 1 and 4 workers")
+	}
+
+	root, err := trace.BuildTree(one)
+	if err != nil {
+		t.Fatalf("warm tree invalid: %v", err)
+	}
+	if root.Name != "experiments.warm" {
+		t.Fatalf("root span %q", root.Name)
+	}
+	wantRuns := len(workloads.All()) * 10 // 10 warm configs
+	runs := 0
+	for _, s := range one {
+		if s.Name == "warm.run" {
+			runs++
+			if s.Attrs["workload"] == "" || s.Attrs["config"] == "" {
+				t.Fatalf("warm.run missing attrs: %+v", s)
+			}
+		}
+	}
+	if runs != wantRuns {
+		t.Fatalf("got %d warm.run spans, want %d", runs, wantRuns)
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"pilotrf/internal/telemetry"
 )
 
 // CacheSchema versions the on-disk entry envelope; bump on incompatible
@@ -113,6 +115,12 @@ type Cache struct {
 
 	mu    sync.Mutex
 	stats CacheStats
+
+	// Telemetry mirrors of stats (nil until Metrics attaches them).
+	cHits    *telemetry.Counter
+	cMisses  *telemetry.Counter
+	cCorrupt *telemetry.Counter
+	cPuts    *telemetry.Counter
 }
 
 // cacheEntry is the on-disk envelope. Storing the full preimage makes
@@ -224,8 +232,36 @@ func (c *Cache) Stats() CacheStats {
 	return c.stats
 }
 
+// Metrics registers the cache's traffic counters (cache_hits,
+// cache_misses, cache_corrupt, cache_puts) in reg, so a live telemetry
+// endpoint — pilotserve /metrics — exposes warm-resume effectiveness.
+// Counters registered mid-life start from the registration point; call
+// right after OpenCache. Safe on a nil cache or nil registry.
+func (c *Cache) Metrics(reg *telemetry.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cHits = reg.Counter("cache_hits")
+	c.cMisses = reg.Counter("cache_misses")
+	c.cCorrupt = reg.Counter("cache_corrupt")
+	c.cPuts = reg.Counter("cache_puts")
+	c.mu.Unlock()
+}
+
 func (c *Cache) count(f func(*CacheStats)) {
 	c.mu.Lock()
+	before := c.stats
 	f(&c.stats)
+	after := c.stats
+	hits, misses := c.cHits, c.cMisses
+	corrupt, puts := c.cCorrupt, c.cPuts
 	c.mu.Unlock()
+	if hits == nil {
+		return
+	}
+	hits.Add(after.Hits - before.Hits)
+	misses.Add(after.Misses - before.Misses)
+	corrupt.Add(after.Corrupt - before.Corrupt)
+	puts.Add(after.Puts - before.Puts)
 }

@@ -32,10 +32,13 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pilotrf/internal/telemetry"
+	"pilotrf/internal/trace"
 )
 
 // Task is one unit of work. Tasks must be independent of one another and
@@ -129,10 +132,15 @@ type dequeSlot struct {
 	chunks []chunk
 }
 
-// chunk is a contiguous range [lo, hi) of one batch's tasks.
+// chunk is a contiguous range [lo, hi) of one batch's tasks. home is
+// the deque the chunk currently belongs to; stolen marks a chunk taken
+// from another worker's deque (home then still names the victim), which
+// span tracing reports as the task's steal origin.
 type chunk struct {
 	b      *Batch
 	lo, hi int
+	home   int
+	stolen bool
 }
 
 // Batch tracks one submission. Results are indexed by submission
@@ -145,6 +153,13 @@ type Batch struct {
 	done    atomic.Int64
 	total   int
 	fin     chan struct{}
+
+	// Span tracing (zero value = disabled): the span context captured
+	// from the submission ctx once per batch — never per task, so the
+	// disabled hot path does no context lookups — and the wall-clock
+	// submit instant queue waits are measured from.
+	sc       trace.SpanContext
+	submitNS int64
 }
 
 // New validates cfg and starts the workers.
@@ -221,6 +236,12 @@ func (p *Pool) submit(ctx context.Context, tasks []Task, block bool) (*Batch, er
 		total:   len(tasks),
 		fin:     make(chan struct{}),
 	}
+	if sc := trace.FromContext(ctx); sc.Active() {
+		b.sc = sc
+		if sc.WallClock() {
+			b.submitNS = time.Now().UnixNano()
+		}
+	}
 	if len(tasks) == 0 {
 		close(b.fin)
 		return b, nil
@@ -265,9 +286,10 @@ func (p *Pool) submit(ctx context.Context, tasks []Task, block bool) (*Batch, er
 		if hi > len(tasks) {
 			hi = len(tasks)
 		}
-		d := &p.deques[p.nextDeque%p.workers]
+		home := p.nextDeque % p.workers
 		p.nextDeque++
-		d.chunks = append(d.chunks, chunk{b: b, lo: lo, hi: hi})
+		d := &p.deques[home]
+		d.chunks = append(d.chunks, chunk{b: b, lo: lo, hi: hi, home: home})
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -308,7 +330,7 @@ func (p *Pool) worker(id int) {
 		if !ok {
 			return
 		}
-		p.runTask(c.b, c.lo)
+		p.runTask(c, id)
 	}
 }
 
@@ -334,6 +356,7 @@ func (p *Pool) next(id int) (chunk, bool) {
 			}
 			c := v.chunks[0]
 			v.chunks = v.chunks[1:]
+			c.stolen = true // home still names the victim deque
 			if p.cSteals != nil {
 				p.cSteals.Inc()
 			}
@@ -351,7 +374,9 @@ func (p *Pool) next(id int) (chunk, bool) {
 // thieves can still take it from the front). Callers hold p.mu.
 func (p *Pool) splitLocked(id int, c chunk) chunk {
 	if c.hi-c.lo > 1 {
-		rest := chunk{b: c.b, lo: c.lo + 1, hi: c.hi}
+		// The remainder now lives in id's deque: it is only "stolen"
+		// again if another worker later takes it from there.
+		rest := chunk{b: c.b, lo: c.lo + 1, hi: c.hi, home: id}
 		p.deques[id].chunks = append(p.deques[id].chunks, rest)
 		// Another worker may be parked while this remainder is stealable.
 		p.cond.Signal()
@@ -361,11 +386,31 @@ func (p *Pool) splitLocked(id int, c chunk) chunk {
 }
 
 // runTask executes one task with panic isolation and completion
-// accounting.
-func (p *Pool) runTask(b *Batch, i int) {
+// accounting. worker is the executing worker's id; the chunk carries
+// the steal provenance span tracing annotates tasks with.
+func (p *Pool) runTask(c chunk, worker int) {
+	b, i := c.b, c.lo
 	if p.gQueued != nil {
 		p.gQueued.Add(-1)
 		p.gRunning.Add(1)
+	}
+	// Span hook: one branch on a captured struct when disabled — no
+	// context lookup, no allocation (test- and benchmark-asserted).
+	// The span id derives from the parent span and submission index,
+	// so the tree is identical whatever worker ran the task; worker,
+	// steal origin, and queue wait are wall-only annotations.
+	var sp *trace.ActiveSpan
+	if b.sc.Active() {
+		idx := strconv.Itoa(i)
+		sp = b.sc.Start("pool.task", idx)
+		sp.SetAttr("index", idx)
+		if b.submitNS != 0 {
+			sp.SetWallAttr("queue_ns", strconv.FormatInt(time.Now().UnixNano()-b.submitNS, 10))
+		}
+		sp.SetWallAttr("worker", strconv.Itoa(worker))
+		if c.stolen {
+			sp.SetWallAttr("stolen_from", strconv.Itoa(c.home))
+		}
 	}
 	if err := b.ctx.Err(); err != nil {
 		// The batch was cancelled: charge the task with the
@@ -374,6 +419,7 @@ func (p *Pool) runTask(b *Batch, i int) {
 	} else {
 		b.results[i] = p.invoke(b.ctx, b.tasks[i])
 	}
+	sp.End()
 	if p.gRunning != nil {
 		p.gRunning.Add(-1)
 		p.cCompleted.Inc()

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpans asserts the pilotrf-spans/v1 reader never panics on
+// arbitrary input, and that anything it accepts survives a
+// write→read→write round trip byte-identically (the canonicalization
+// property the /trace endpoint and CLI exports rely on).
+func FuzzReadSpans(f *testing.F) {
+	tid := TraceID("fuzz")
+	id := SpanID("s")
+	child := SpanID(id, "c")
+	f.Add(`{"schema":"pilotrf-spans/v1"}` + "\n")
+	f.Add(`{"schema":"pilotrf-spans/v1"}` + "\n" +
+		`{"trace":"` + tid + `","span":"` + id + `","name":"job"}` + "\n")
+	f.Add(`{"schema":"pilotrf-spans/v1"}` + "\n" +
+		`{"trace":"` + tid + `","span":"` + id + `","name":"job","attrs":{"k":"v"}}` + "\n" +
+		`{"trace":"` + tid + `","span":"` + child + `","parent":"` + id + `","name":"cell","wall":{"start_unix_ns":1,"end_unix_ns":9,"attrs":{"worker":"0"}}}` + "\n")
+	f.Add(`{"schema":"pilotrf-spans/v0"}` + "\n")
+	f.Add("{nope\n")
+	f.Add(`{"trace":"00","span":"x","name":""}` + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		spans, err := ReadSpans(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSpans(&buf, spans); err != nil {
+			t.Fatalf("accepted spans failed to write: %v", err)
+		}
+		back, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("rewrite unreadable: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteSpans(&buf2, back); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// header is the first NDJSON line, carrying only the schema tag.
+type header struct {
+	Schema string `json:"schema"`
+}
+
+// WriteSpans writes spans as pilotrf-spans/v1 NDJSON: a schema header
+// line followed by one span per line. Spans are written in the order
+// given; pass Recorder.Spans (canonical order) for reproducible bytes.
+func WriteSpans(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header{Schema: Schema}); err != nil {
+		return err
+	}
+	for i := range spans {
+		if err := spans[i].validate(); err != nil {
+			return fmt.Errorf("trace: span %d: %w", i, err)
+		}
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSpansFile writes spans to path, creating or truncating it.
+func WriteSpansFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSpans(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSpans parses pilotrf-spans/v1 NDJSON, validating the schema
+// header and every span (well-formed hex ids, nonempty name, wall
+// end >= start). It returns a structured error — never panics — on
+// malformed input, and tolerates blank lines.
+func ReadSpans(r io.Reader) ([]Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	sawHeader := false
+	var spans []Span
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		if !sawHeader {
+			var h header
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad header: %w", line, err)
+			}
+			if h.Schema != Schema {
+				return nil, fmt.Errorf("trace: line %d: schema %q, want %q", line, h.Schema, Schema)
+			}
+			sawHeader = true
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if err := s.validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: missing %s header", Schema)
+	}
+	return spans, nil
+}
+
+// ReadSpansFile reads and validates a span NDJSON file.
+func ReadSpansFile(path string) ([]Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpans(f)
+}
+
+// validate checks structural invariants of a single span.
+func (s *Span) validate() error {
+	if !ValidTraceID(s.Trace) {
+		return fmt.Errorf("invalid trace id %q", s.Trace)
+	}
+	if !ValidSpanID(s.ID) {
+		return fmt.Errorf("invalid span id %q", s.ID)
+	}
+	if s.Parent != "" && !ValidSpanID(s.Parent) {
+		return fmt.Errorf("invalid parent id %q", s.Parent)
+	}
+	if s.ID == s.Parent {
+		return fmt.Errorf("span %s is its own parent", s.ID)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("span %s has empty name", s.ID)
+	}
+	if s.Wall != nil && s.Wall.EndUnixNS < s.Wall.StartUnixNS {
+		return fmt.Errorf("span %s wall end %d before start %d", s.ID, s.Wall.EndUnixNS, s.Wall.StartUnixNS)
+	}
+	return nil
+}
+
+// SortSpans orders spans canonically: a depth-first walk with parents
+// before children and siblings ordered by (name, id). Spans whose
+// parent is absent from the set (or that form a cycle) are appended
+// after the reachable tree, ordered by (name, id), so the function is
+// total over arbitrary input. The input slice is sorted in place and
+// returned.
+func SortSpans(spans []Span) []Span {
+	if len(spans) <= 1 {
+		return spans
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Name != spans[j].Name {
+			return spans[i].Name < spans[j].Name
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	byID := make(map[string]int, len(spans))
+	children := make(map[string][]int, len(spans))
+	var roots []int
+	for i := range spans {
+		byID[spans[i].ID] = i
+	}
+	for i := range spans {
+		p := spans[i].Parent
+		if _, ok := byID[p]; p != "" && ok {
+			children[p] = append(children[p], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	out := make([]Span, 0, len(spans))
+	seen := make([]bool, len(spans))
+	var walk func(i int)
+	walk = func(i int) {
+		if seen[i] {
+			return
+		}
+		seen[i] = true
+		out = append(out, spans[i])
+		for _, c := range children[spans[i].ID] {
+			walk(c)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	for i := range spans { // unreachable members of cycles
+		if !seen[i] {
+			out = append(out, spans[i])
+		}
+	}
+	copy(spans, out)
+	return spans
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// perfettoPID is the synthetic process id span lanes render under in
+// ui.perfetto.dev — chosen well above the per-SM pids the sim
+// package's PerfettoTracer emits so span waterfalls and pipeline
+// traces can be viewed side by side without colliding.
+const perfettoPID = 4096
+
+// perfettoEvent mirrors the trace_event JSON objects the sim exporter
+// writes (the envelope and field set the existing grammar checks
+// accept).
+type perfettoEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WritePerfetto converts spans to a Chrome trace_event JSON document
+// ({"traceEvents":[...]}, "X" complete events), the same envelope the
+// sim package's PerfettoTracer produces, so the output opens directly
+// in ui.perfetto.dev. Spans with wall sections are placed at their
+// wall-clock microseconds (rebased to the earliest start); spans
+// without are laid out synthetically in canonical order. Overlapping
+// spans are assigned to separate lanes (tids) greedily.
+func WritePerfetto(w io.Writer, spans []Span) error {
+	spans = SortSpans(append([]Span(nil), spans...))
+	var base int64 = -1
+	for i := range spans {
+		if spans[i].Wall != nil && (base < 0 || spans[i].Wall.StartUnixNS < base) {
+			base = spans[i].Wall.StartUnixNS
+		}
+	}
+	type placed struct {
+		idx     int
+		ts, dur int64
+	}
+	ev := make([]placed, len(spans))
+	for i := range spans {
+		if spans[i].Wall != nil && base >= 0 {
+			ts := (spans[i].Wall.StartUnixNS - base) / 1000
+			dur := (spans[i].Wall.EndUnixNS - spans[i].Wall.StartUnixNS) / 1000
+			if dur < 1 {
+				dur = 1
+			}
+			ev[i] = placed{idx: i, ts: ts, dur: dur}
+		} else {
+			// Synthetic placement: canonical order, unit durations.
+			ev[i] = placed{idx: i, ts: int64(2 * i), dur: 1}
+		}
+	}
+	sort.SliceStable(ev, func(a, b int) bool { return ev[a].ts < ev[b].ts })
+	// Greedy lane assignment: first lane whose last event has ended.
+	var laneEnd []int64
+	events := make([]perfettoEvent, 0, len(spans)+1)
+	events = append(events, perfettoEvent{
+		Name: "process_name", Ph: "M", PID: perfettoPID,
+		Args: map[string]any{"name": "pilotrf spans"},
+	})
+	for _, p := range ev {
+		lane := -1
+		for l, end := range laneEnd {
+			if end <= p.ts {
+				lane = l
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneEnd)
+			laneEnd = append(laneEnd, 0)
+		}
+		laneEnd[lane] = p.ts + p.dur
+		s := &spans[p.idx]
+		args := map[string]any{
+			"trace":  s.Trace,
+			"span":   s.ID,
+			"parent": s.Parent,
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Wall != nil {
+			for k, v := range s.Wall.Attrs {
+				args["wall_"+k] = v
+			}
+		}
+		events = append(events, perfettoEvent{
+			Name: s.Name, Ph: "X", TS: p.ts, Dur: p.dur,
+			PID: perfettoPID, TID: lane, Args: args,
+		})
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range events {
+		b, err := json.Marshal(&events[i])
+		if err != nil {
+			return fmt.Errorf("trace: perfetto marshal: %w", err)
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,369 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestIDsDeterministicAndWellFormed(t *testing.T) {
+	a := TraceID("campaign", "abc123")
+	b := TraceID("campaign", "abc123")
+	if a != b {
+		t.Fatalf("TraceID not deterministic: %s vs %s", a, b)
+	}
+	if !ValidTraceID(a) {
+		t.Fatalf("TraceID %q not well-formed", a)
+	}
+	if TraceID("campaign", "abc124") == a {
+		t.Fatal("distinct parts collided")
+	}
+	// Part boundaries must matter: ("ab","c") != ("a","bc").
+	if TraceID("ab", "c") == TraceID("a", "bc") {
+		t.Fatal("part boundary ignored in TraceID")
+	}
+	s := SpanID(a, "cell", "deadbeef")
+	if !ValidSpanID(s) {
+		t.Fatalf("SpanID %q not well-formed", s)
+	}
+	if SpanID(a, "cell", "deadbeef") != s {
+		t.Fatal("SpanID not deterministic")
+	}
+	if SpanID("x", "yz") == SpanID("xy", "z") {
+		t.Fatal("part boundary ignored in SpanID")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid := TraceID("t")
+	sid := SpanID("s")
+	h := FormatTraceparent(tid, sid)
+	gotT, gotS, ok := ParseTraceparent(h)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("round trip failed: %q -> %q %q %v", h, gotT, gotS, ok)
+	}
+	bad := []string{
+		"",
+		"00-" + tid + "-" + sid,          // missing flags
+		"00-" + tid + "-" + sid + "-01x", // version 00 with trailing junk
+		"ff-" + tid + "-" + sid + "-01",  // forbidden version
+		"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", // zero trace
+		"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", // zero span
+		"00-" + strings.ToUpper(tid) + "-" + sid + "-01",    // uppercase
+		"00_" + tid + "-" + sid + "-01",                     // bad separator
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent accepted %q", h)
+		}
+	}
+	// Future version with appended fields is accepted.
+	if _, _, ok := ParseTraceparent("01-" + tid + "-" + sid + "-01-extra"); !ok {
+		t.Error("future-version traceparent rejected")
+	}
+}
+
+func TestRecorderTreeAndRoundTrip(t *testing.T) {
+	rec := NewRecorder(false)
+	root := rec.Root("job", TraceID("test"), "job-1")
+	root.SetAttr("id", "job-1")
+	c1 := root.Context().Start("campaign")
+	g := c1.Context().Start("golden", "aa")
+	g.SetAttr("cache", "miss")
+	g.End()
+	c2 := c1.Context().Start("cell", "bb")
+	c2.SetAttr("design", "part")
+	c2.End()
+	c1.End()
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	if spans[0].Name != "job" || spans[0].Parent != "" {
+		t.Fatalf("canonical order: first span = %+v, want root job", spans[0])
+	}
+	node, err := BuildTree(spans)
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if node.Name != "job" || len(node.Children) != 1 || node.Children[0].Name != "campaign" {
+		t.Fatalf("unexpected tree shape: %+v", node)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatalf("WriteSpans: %v", err)
+	}
+	back, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadSpans: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteSpans(&buf2, back); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("NDJSON round trip not byte-identical")
+	}
+	if !strings.HasPrefix(buf.String(), `{"schema":"pilotrf-spans/v1"}`) {
+		t.Fatalf("missing schema header: %q", buf.String()[:40])
+	}
+}
+
+func TestRecorderWallClock(t *testing.T) {
+	rec := NewRecorder(true)
+	root := rec.Root("r", TraceID("w"))
+	ch := root.Context().Start("c")
+	ch.SetWallAttr("worker", "3")
+	ch.End()
+	root.End()
+	spans := rec.Spans()
+	if _, err := BuildTree(spans); err != nil {
+		t.Fatalf("wall tree invalid: %v", err)
+	}
+	for _, s := range spans {
+		if s.Wall == nil {
+			t.Fatalf("span %s missing wall section", s.Name)
+		}
+	}
+	child := spans[1]
+	if child.Wall.Attrs["worker"] != "3" {
+		t.Fatalf("wall attr lost: %+v", child.Wall)
+	}
+	stripped := StripWall(spans)
+	for _, s := range stripped {
+		if s.Wall != nil {
+			t.Fatal("StripWall left a wall section")
+		}
+	}
+	if spans[0].Wall == nil {
+		t.Fatal("StripWall mutated its input")
+	}
+}
+
+func TestNoWallRecorderOmitsWallAttrs(t *testing.T) {
+	rec := NewRecorder(false)
+	root := rec.Root("r", TraceID("nw"))
+	root.SetWallAttr("worker", "1")
+	root.SetWallStart(123)
+	root.End()
+	s := rec.Spans()[0]
+	if s.Wall != nil {
+		t.Fatalf("wall section present on deterministic recorder: %+v", s.Wall)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var rec *Recorder
+	sp := rec.Root("r", TraceID("n"))
+	if sp != nil {
+		t.Fatal("nil recorder Root != nil")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetWallAttr("k", "v")
+	sp.SetWallStart(1)
+	sp.End()
+	sc := sp.Context()
+	if sc.Active() {
+		t.Fatal("nil span context active")
+	}
+	if sc.Start("x") != nil {
+		t.Fatal("inactive Start != nil")
+	}
+	ctx := context.Background()
+	if NewContext(ctx, sc) != ctx {
+		t.Fatal("inactive NewContext allocated a new context")
+	}
+	if FromContext(ctx).Active() {
+		t.Fatal("FromContext invented a span context")
+	}
+	if rec.Spans() != nil || rec.Len() != 0 || rec.WallClock() {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	rec := NewRecorder(false)
+	sp := rec.Root("r", TraceID("i"))
+	sp.End()
+	sp.End()
+	if rec.Len() != 1 {
+		t.Fatalf("double End recorded %d spans", rec.Len())
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	rec := NewRecorder(false)
+	root := rec.Root("r", TraceID("ctx"))
+	ctx := NewContext(context.Background(), root.Context())
+	sc := FromContext(ctx)
+	if !sc.Active() || sc.SpanID() != root.Context().SpanID() {
+		t.Fatalf("context round trip lost span: %+v", sc)
+	}
+	ch := sc.Start("child", "1")
+	ch.End()
+	root.End()
+	if _, err := BuildTree(rec.Spans()); err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+}
+
+func TestReadSpansRejects(t *testing.T) {
+	tid := TraceID("rj")
+	id := SpanID("a")
+	okSpan := `{"trace":"` + tid + `","span":"` + id + `","name":"x"}`
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      okSpan + "\n",
+		"wrong schema":   `{"schema":"pilotrf-spans/v0"}` + "\n",
+		"garbage line":   `{"schema":"pilotrf-spans/v1"}` + "\n{nope\n",
+		"bad trace id":   `{"schema":"pilotrf-spans/v1"}` + "\n" + `{"trace":"zz","span":"` + id + `","name":"x"}` + "\n",
+		"bad span id":    `{"schema":"pilotrf-spans/v1"}` + "\n" + `{"trace":"` + tid + `","span":"12","name":"x"}` + "\n",
+		"empty name":     `{"schema":"pilotrf-spans/v1"}` + "\n" + `{"trace":"` + tid + `","span":"` + id + `","name":""}` + "\n",
+		"self parent":    `{"schema":"pilotrf-spans/v1"}` + "\n" + `{"trace":"` + tid + `","span":"` + id + `","parent":"` + id + `","name":"x"}` + "\n",
+		"wall end<start": `{"schema":"pilotrf-spans/v1"}` + "\n" + `{"trace":"` + tid + `","span":"` + id + `","name":"x","wall":{"start_unix_ns":5,"end_unix_ns":1}}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSpans(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadSpans accepted malformed input", name)
+		}
+	}
+	// Blank lines are tolerated.
+	got, err := ReadSpans(strings.NewReader(`{"schema":"pilotrf-spans/v1"}` + "\n\n" + okSpan + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank-line input: %v, %d spans", err, len(got))
+	}
+}
+
+func TestBuildTreeRejects(t *testing.T) {
+	tid := TraceID("bt")
+	mk := func(id, parent, name string) Span {
+		return Span{Trace: tid, ID: SpanID(id), Parent: parent, Name: name}
+	}
+	root := mk("r", "", "root")
+	cases := map[string][]Span{
+		"empty":          {},
+		"no root":        {mk("a", SpanID("ghost"), "x"), mk("ghost2", SpanID("a"), "y")},
+		"two roots":      {root, mk("r2", "", "root2")},
+		"orphan parent":  {root, mk("a", SpanID("ghost"), "x")},
+		"duplicate id":   {root, mk("r", SpanID("r"), "dup")},
+		"mixed trace id": {root, {Trace: TraceID("other"), ID: SpanID("o"), Parent: SpanID("r"), Name: "x"}},
+	}
+	for name, spans := range cases {
+		if _, err := BuildTree(spans); err == nil {
+			t.Errorf("%s: BuildTree accepted invalid set", name)
+		}
+	}
+	// Cycle detached from the root.
+	a := mk("a", "", "a")
+	b := mk("b", "", "b")
+	b.Parent = SpanID("c")
+	c := mk("c", "", "c")
+	c.Parent = SpanID("b")
+	if _, err := BuildTree([]Span{a, b, c}); err == nil {
+		t.Error("cycle: BuildTree accepted unreachable spans")
+	}
+	// Child wall outside parent.
+	p := mk("p", "", "p")
+	p.Wall = &Wall{StartUnixNS: 100, EndUnixNS: 200}
+	ch := mk("ch", SpanID("p"), "ch")
+	ch.Parent = p.ID
+	ch.Wall = &Wall{StartUnixNS: 50, EndUnixNS: 150}
+	if _, err := BuildTree([]Span{p, ch}); err == nil {
+		t.Error("wall containment violation accepted")
+	}
+}
+
+func TestWritePerfettoGrammar(t *testing.T) {
+	rec := NewRecorder(true)
+	root := rec.Root("job", TraceID("pf"), "job-1")
+	c := root.Context().Start("campaign")
+	for i, name := range []string{"golden", "cell", "trial"} {
+		sp := c.Context().Start(name, strings.Repeat("x", i+1))
+		sp.SetAttr("i", name)
+		sp.End()
+	}
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, rec.Spans()); err != nil {
+		t.Fatalf("WritePerfetto: %v", err)
+	}
+	// Same grammar check shape the sim trace_event tests use.
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto output not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 6 { // 5 spans + process_name metadata
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	lastTS := int64(-1)
+	sawMeta := false
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			sawMeta = true
+			continue
+		case "X":
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.Name == "" || e.Dur < 1 || e.TS < lastTS {
+			t.Fatalf("malformed event %+v (lastTS %d)", e, lastTS)
+		}
+		lastTS = e.TS
+		if e.Args["span"] == "" {
+			t.Fatalf("event missing span arg: %+v", e)
+		}
+	}
+	if !sawMeta {
+		t.Fatal("missing process_name metadata event")
+	}
+
+	// Spans without wall sections place synthetically and still parse.
+	var buf2 bytes.Buffer
+	if err := WritePerfetto(&buf2, StripWall(rec.Spans())); err != nil {
+		t.Fatalf("WritePerfetto(no wall): %v", err)
+	}
+	if err := json.Unmarshal(buf2.Bytes(), &doc); err != nil {
+		t.Fatalf("synthetic perfetto not valid JSON: %v", err)
+	}
+}
+
+func TestSortSpansDeterministicAcrossInputOrder(t *testing.T) {
+	rec := NewRecorder(false)
+	root := rec.Root("r", TraceID("so"))
+	for _, n := range []string{"b", "a", "c"} {
+		sp := root.Context().Start("child", n)
+		sp.SetAttr("n", n)
+		sp.End()
+	}
+	root.End()
+	spans := rec.Spans()
+	// Reverse and re-sort: canonical order must match.
+	rev := make([]Span, len(spans))
+	for i := range spans {
+		rev[len(spans)-1-i] = spans[i]
+	}
+	SortSpans(rev)
+	for i := range spans {
+		if spans[i].ID != rev[i].ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, spans[i].ID, rev[i].ID)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one validated node of a span tree.
+type Node struct {
+	Span
+	Children []*Node
+}
+
+// BuildTree assembles spans into a validated tree and returns its
+// root. It enforces the invariants the /trace endpoint and the CI
+// smoke rely on:
+//
+//   - at least one span, all sharing one trace id,
+//   - unique span ids,
+//   - exactly one root (empty Parent),
+//   - every non-root parent id present in the set (no orphans),
+//   - every span reachable from the root (no cycles),
+//   - when both carry wall sections, a child's wall interval lies
+//     within its parent's (inclusive bounds).
+//
+// Children are ordered canonically by (name, id).
+func BuildTree(spans []Span) (*Node, error) {
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("trace: empty span set")
+	}
+	byID := make(map[string]*Node, len(spans))
+	var root *Node
+	for i := range spans {
+		s := &spans[i]
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		if s.Trace != spans[0].Trace {
+			return nil, fmt.Errorf("trace: span %s has trace %s, want %s", s.ID, s.Trace, spans[0].Trace)
+		}
+		if _, dup := byID[s.ID]; dup {
+			return nil, fmt.Errorf("trace: duplicate span id %s", s.ID)
+		}
+		byID[s.ID] = &Node{Span: *s}
+	}
+	for id, n := range byID {
+		if n.Parent == "" {
+			if root != nil {
+				return nil, fmt.Errorf("trace: multiple roots: %s and %s", root.ID, id)
+			}
+			root = n
+			continue
+		}
+		p, ok := byID[n.Parent]
+		if !ok {
+			return nil, fmt.Errorf("trace: span %s has orphan parent %s", id, n.Parent)
+		}
+		p.Children = append(p.Children, n)
+	}
+	if root == nil {
+		return nil, fmt.Errorf("trace: no root span")
+	}
+	reached := 0
+	stack := []*Node{root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		reached++
+		sort.Slice(n.Children, func(i, j int) bool {
+			if n.Children[i].Name != n.Children[j].Name {
+				return n.Children[i].Name < n.Children[j].Name
+			}
+			return n.Children[i].ID < n.Children[j].ID
+		})
+		for _, c := range n.Children {
+			if n.Wall != nil && c.Wall != nil {
+				if c.Wall.StartUnixNS < n.Wall.StartUnixNS || c.Wall.EndUnixNS > n.Wall.EndUnixNS {
+					return nil, fmt.Errorf("trace: span %s wall [%d,%d] outside parent %s [%d,%d]",
+						c.ID, c.Wall.StartUnixNS, c.Wall.EndUnixNS, n.ID, n.Wall.StartUnixNS, n.Wall.EndUnixNS)
+				}
+			}
+			stack = append(stack, c)
+		}
+	}
+	if reached != len(byID) {
+		return nil, fmt.Errorf("trace: %d spans unreachable from root (cycle)", len(byID)-reached)
+	}
+	return root, nil
+}

@@ -1,0 +1,67 @@
+package pilotrf
+
+import (
+	"io"
+
+	"pilotrf/internal/trace"
+)
+
+// The span-tracing layer: deterministic trace trees over the simulation
+// service. Span and trace ids derive from campaign cache keys and
+// submission indices — never wall clock or randomness — so the same
+// spec records a byte-identical tree at any worker count; wall-clock
+// timings ride in clearly separated nondeterministic sections. The
+// pilotserve job server records one tree per job (served at
+// GET /v1/jobs/{id}/trace), cmd/faultcampaign writes them via
+// -trace-spans/-trace-perfetto, and this facade exposes the same
+// recorder for embedded campaigns.
+type (
+	// Span is one recorded operation: deterministic identity and
+	// attributes, plus an optional nondeterministic wall section.
+	Span = trace.Span
+	// SpanWall is a span's wall-clock section (timings, worker ids,
+	// queue waits) — everything that may differ run to run.
+	SpanWall = trace.Wall
+	// SpanRecorder collects spans; safe for concurrent use.
+	SpanRecorder = trace.Recorder
+	// SpanContext carries an active span across goroutine and API
+	// boundaries; the zero value is inert.
+	SpanContext = trace.SpanContext
+	// SpanNode is one node of a validated span tree.
+	SpanNode = trace.Node
+)
+
+// SpanSchema identifies the span NDJSON format (pilotrf-spans/v1).
+const SpanSchema = trace.Schema
+
+// EnableSpanTracing attaches a fresh recorder to a campaign's options
+// and returns it. With wallClock false the recording is fully
+// deterministic — byte-identical across runs and worker counts; with
+// wallClock true each span also carries a wall section with real
+// timings (strippable later via StripSpanWall).
+func EnableSpanTracing(opt *CampaignOptions, wallClock bool) *SpanRecorder {
+	rec := trace.NewRecorder(wallClock)
+	opt.Trace = rec
+	return rec
+}
+
+// WriteSpans writes spans as pilotrf-spans/v1 NDJSON: a schema header
+// line, then one span object per line in canonical order.
+func WriteSpans(w io.Writer, spans []Span) error { return trace.WriteSpans(w, spans) }
+
+// ReadSpans parses a pilotrf-spans/v1 NDJSON stream, validating the
+// schema header and every span.
+func ReadSpans(r io.Reader) ([]Span, error) { return trace.ReadSpans(r) }
+
+// WriteSpansPerfetto converts spans to Chrome/Perfetto trace_event JSON
+// loadable at ui.perfetto.dev.
+func WriteSpansPerfetto(w io.Writer, spans []Span) error { return trace.WritePerfetto(w, spans) }
+
+// BuildSpanTree validates the spans — single root, unique ids, no
+// orphans, child wall intervals within their parent's — and returns the
+// root of the assembled tree.
+func BuildSpanTree(spans []Span) (*SpanNode, error) { return trace.BuildTree(spans) }
+
+// StripSpanWall returns a copy of spans with every wall section
+// removed: the deterministic projection of a wall-clock recording.
+func StripSpanWall(spans []Span) []Span { return trace.StripWall(spans) }

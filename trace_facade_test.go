@@ -1,0 +1,81 @@
+package pilotrf
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestSpanTracingFacade runs a traced campaign through the facade and
+// exercises the whole span surface: NDJSON round-trip, tree assembly,
+// wall stripping, and Perfetto conversion.
+func TestSpanTracingFacade(t *testing.T) {
+	spec := CampaignSpec{
+		Benchmarks: []string{"sgemm"},
+		Designs:    []string{"part-adaptive"},
+		Protect:    []string{"none", "secded"},
+		Trials:     2,
+		Seed:       7,
+		Scale:      0.05,
+		SMs:        1,
+	}
+	pool, err := NewWorkerPool(PoolConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	opt := CampaignOptions{Pool: pool}
+	rec := EnableSpanTracing(&opt, true)
+	if opt.Trace != rec {
+		t.Fatal("EnableSpanTracing did not attach the recorder")
+	}
+	if _, err := RunFaultCampaign(context.Background(), spec, opt); err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(`{"schema":"`+SpanSchema+`"}`)) {
+		t.Fatalf("NDJSON does not open with the %s header: %.80s", SpanSchema, buf.Bytes())
+	}
+	back, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round-trip read: %v", err)
+	}
+	if len(back) != len(spans) {
+		t.Fatalf("round trip lost spans: %d vs %d", len(back), len(spans))
+	}
+
+	root, err := BuildSpanTree(spans)
+	if err != nil {
+		t.Fatalf("tree invalid: %v", err)
+	}
+	if root.Name != "campaign" {
+		t.Fatalf("root span %q, want campaign", root.Name)
+	}
+
+	stripped := StripSpanWall(spans)
+	for i, s := range stripped {
+		if s.Wall != nil {
+			t.Fatal("StripSpanWall left a wall section")
+		}
+		if spans[i].Wall == nil {
+			t.Fatal("wall-clock recorder produced a span without a wall section")
+		}
+	}
+
+	var pf bytes.Buffer
+	if err := WriteSpansPerfetto(&pf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(pf.Bytes(), []byte(`"traceEvents"`)) {
+		t.Fatal("Perfetto output missing traceEvents envelope")
+	}
+}
