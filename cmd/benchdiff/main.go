@@ -14,7 +14,9 @@
 // against the threshold: wall-clock time is machine-dependent.
 //
 // Exit status: 0 when every shared metric is within the threshold and
-// the benchmark sets match, 1 on drift or set mismatch, 2 on read errors.
+// the benchmark sets match, 1 on drift, set mismatch, or duplicate
+// benchmark names in either report, 2 on read or usage errors
+// (including a negative -threshold).
 package main
 
 import (
@@ -44,6 +46,10 @@ func run(args []string, stdout io.Writer) int {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-v] old.json new.json")
 		return 2
 	}
+	if *threshold < 0 || math.IsNaN(*threshold) {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold %v must be >= 0\n", *threshold)
+		return 2
+	}
 	old, err := benchjson.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -55,9 +61,24 @@ func run(args []string, stdout io.Writer) int {
 		return 2
 	}
 
-	oldBy := byName(old)
-	curBy := byName(cur)
 	violations := 0
+	// A duplicated benchmark name would make one result silently shadow
+	// the other in the by-name comparison — that is a broken report, so
+	// it is a violation in either input.
+	oldBy, err := benchjson.Index(old)
+	if err != nil {
+		fmt.Fprintf(stdout, "%s: %v\n", fs.Arg(0), err)
+		violations++
+	}
+	curBy, err := benchjson.Index(cur)
+	if err != nil {
+		fmt.Fprintf(stdout, "%s: %v\n", fs.Arg(1), err)
+		violations++
+	}
+	if violations > 0 {
+		fmt.Fprintf(stdout, "duplicate benchmark names, %d violations\n", violations)
+		return 1
+	}
 
 	names := make([]string, 0, len(oldBy))
 	for n := range oldBy {
@@ -81,7 +102,7 @@ func run(args []string, stdout io.Writer) int {
 		header := func() {
 			if !printedHeader {
 				nsDelta := relDelta(ob.NsPerOp, cb.NsPerOp)
-				fmt.Fprintf(stdout, "%s  (ns/op %+.1f%%, informational)\n", name, nsDelta*100)
+				fmt.Fprintf(stdout, "%s  (ns/op %s, informational)\n", name, fmtDelta(nsDelta))
 				printedHeader = true
 			}
 		}
@@ -101,11 +122,11 @@ func run(args []string, stdout io.Writer) int {
 			if informational(k) {
 				if *verbose || math.Abs(d) > *threshold {
 					header()
-					fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g (%+.2f%%, informational)\n", k, ov, cv, d*100)
+					fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g (%s, informational)\n", k, ov, cv, fmtDelta(d))
 				}
 			} else if math.Abs(d) > *threshold {
 				header()
-				fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g (%+.2f%%) DRIFT\n", k, ov, cv, d*100)
+				fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g (%s) DRIFT\n", k, ov, cv, fmtDelta(d))
 				violations++
 			} else if *verbose {
 				fmt.Fprintf(stdout, "  %-32s %12.4g -> %-12.4g ok\n", k, ov, cv)
@@ -134,15 +155,6 @@ func informational(key string) bool {
 	return strings.HasSuffix(key, "/s")
 }
 
-// byName indexes a report's benchmarks; duplicate names keep the last.
-func byName(r benchjson.Report) map[string]benchjson.Benchmark {
-	m := make(map[string]benchjson.Benchmark, len(r.Benchmarks))
-	for _, b := range r.Benchmarks {
-		m[b.Name] = b
-	}
-	return m
-}
-
 // relDelta is (new-old)/old, treating an exact match (including 0 -> 0)
 // as zero drift and any change away from zero as full drift.
 func relDelta(old, new float64) float64 {
@@ -153,4 +165,15 @@ func relDelta(old, new float64) float64 {
 		return math.Inf(1)
 	}
 	return (new - old) / old
+}
+
+// fmtDelta renders a relative drift for humans. A 0 -> nonzero change
+// has no finite percentage; spell it out instead of printing the +Inf%
+// artifact (it still counts as drift — relDelta keeps it infinite so
+// every threshold catches it).
+func fmtDelta(d float64) string {
+	if math.IsInf(d, 0) {
+		return "new from zero"
+	}
+	return fmt.Sprintf("%+.2f%%", d*100)
 }

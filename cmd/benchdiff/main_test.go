@@ -136,6 +136,79 @@ func TestReadErrorsExitTwo(t *testing.T) {
 	}
 }
 
+// TestDuplicateBenchmarkNamesFail: a duplicated name would let one
+// result silently shadow the other in the by-name comparison, so it is
+// a violation in either report.
+func TestDuplicateBenchmarkNamesFail(t *testing.T) {
+	dir := t.TempDir()
+	dup := writeReport(t, dir, "dup.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"cycles": 500}),
+		bench("BenchmarkA", 200, map[string]float64{"cycles": 600}),
+	})
+	good := writeReport(t, dir, "good.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"cycles": 500}),
+	})
+	for _, args := range [][]string{{dup, good}, {good, dup}, {dup, dup}} {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 1 {
+			t.Errorf("%v: exit = %d, want 1\n%s", args, code, out.String())
+			continue
+		}
+		if !strings.Contains(out.String(), "duplicate benchmark") {
+			t.Errorf("%v: output lacks duplicate message:\n%s", args, out.String())
+		}
+	}
+}
+
+// TestNegativeThresholdIsUsageError: a negative threshold would flag
+// every metric including exact matches — reject it up front.
+func TestNegativeThresholdIsUsageError(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", []benchjson.Benchmark{bench("BenchmarkA", 1, nil)})
+	var out bytes.Buffer
+	if code := run([]string{"-threshold", "-0.1", good, good}, &out); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestZeroToNonzeroPrintsNewFromZero: the 0 -> nonzero case has no
+// finite percentage; it must read "new from zero", never "+Inf%", and
+// still count as drift.
+func TestZeroToNonzeroPrintsNewFromZero(t *testing.T) {
+	dir := t.TempDir()
+	a := writeReport(t, dir, "a.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"faults": 0}),
+	})
+	b := writeReport(t, dir, "b.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"faults": 3}),
+	})
+	var out bytes.Buffer
+	if code := run([]string{a, b}, &out); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "new from zero") || !strings.Contains(s, "DRIFT") {
+		t.Errorf("output:\n%s", s)
+	}
+	if strings.Contains(s, "Inf") {
+		t.Errorf("infinity artifact still printed:\n%s", s)
+	}
+	// Same for an informational rate metric under -v: readable, not Inf.
+	c := writeReport(t, dir, "c.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"Mcycles/s": 0}),
+	})
+	d := writeReport(t, dir, "d.json", []benchjson.Benchmark{
+		bench("BenchmarkA", 100, map[string]float64{"Mcycles/s": 0.5}),
+	})
+	out.Reset()
+	if code := run([]string{c, d}, &out); code != 0 {
+		t.Fatalf("rate-only change gated: exit = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "new from zero") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
 // TestAgainstCommittedTrajectory sanity-checks the committed trajectory
 // file parses under the current schema.
 func TestAgainstCommittedTrajectory(t *testing.T) {

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	experiments [-scale f] [-sms n] [-json out.json] [-http :6060]
-//	            [-bench-json out.json]
+//	            [-bench-json out.json] [-bench-samples n]
+//	            [-bench-history h.ndjson -bench-label PR8
+//	             -bench-commit rev -bench-time-unix t]
 //	            [-only fig1,table1,fig2,fig4,table3,table4,yield,fig10,
 //	             fig11,leakage,fig12,sens,fig13,rfc,swap,area,dynamics,
 //	             voltage,scorecard,ablation,energy]
@@ -12,79 +14,118 @@
 // -http serves expvar and net/http/pprof on the given address so long
 // sweeps can be profiled live (go tool pprof http://host/debug/pprof/profile).
 //
-// -bench-json runs the root bench_test.go harness once (go test
-// -run=^$ -bench=. -benchtime=1x) and writes the parsed results — ns/op
-// plus every b.ReportMetric headline quantity — as JSON to the given
-// path, then exits. It requires the go toolchain on PATH.
+// -bench-json runs the root bench_test.go harness (go test -run=^$
+// -bench=. -benchtime=1x) and writes the parsed results — ns/op plus
+// every b.ReportMetric headline quantity — as JSON to the given path,
+// then exits. It requires the go toolchain on PATH. -bench-samples N
+// repeats the harness N times; the multi-sample run is appended to a
+// pilotrf-benchhistory/v1 file via -bench-history (with -bench-label
+// naming the run), which is how cmd/benchwatch record drives this
+// suite. Deterministic metrics must be bit-identical across samples;
+// any variance is reported as a violation (exit 1), never averaged
+// away.
 package main
 
 import (
-	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"pilotrf/internal/benchjson"
+	"pilotrf/internal/benchstore"
 	"pilotrf/internal/experiments"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
 	"pilotrf/internal/trace"
 )
 
-// runBenchJSON executes the root benchmark harness once and writes the
-// parsed results as a benchjson.Report to outPath.
-func runBenchJSON(outPath string) error {
-	goBin, err := exec.LookPath("go")
-	if err != nil {
-		return fmt.Errorf("bench-json needs the go toolchain: %w", err)
+// benchOpts configures the bench-harness path of cmd/experiments.
+type benchOpts struct {
+	jsonPath    string // -bench-json: write sample 1 as a pilotrf-bench/v1 report
+	samples     int    // -bench-samples: harness passes to run
+	historyPath string // -bench-history: append the run to this history file
+	label       string // -bench-label: run label in the history
+	commit      string // -bench-commit: git revision recorded with the run
+	timeUnix    int64  // -bench-time-unix: injected timestamp (0 = now)
+}
+
+// runBench executes the harness opts.samples times, writes the
+// single-sample snapshot and/or appends the multi-sample history
+// record. Returns the process exit code: 0 ok, 1 failure or
+// deterministic-metric variance, 2 usage error.
+func runBench(opts benchOpts) int {
+	if opts.samples < 1 {
+		fmt.Fprintf(os.Stderr, "-bench-samples must be >= 1, got %d\n", opts.samples)
+		return 2
 	}
-	modOut, err := exec.Command(goBin, "env", "GOMOD").Output()
-	if err != nil {
-		return fmt.Errorf("locating module root: %w", err)
+	if opts.samples > 1 && opts.historyPath == "" {
+		fmt.Fprintln(os.Stderr, "-bench-samples > 1 needs -bench-history: a pilotrf-bench/v1 snapshot holds a single sample")
+		return 2
 	}
-	gomod := strings.TrimSpace(string(modOut))
-	if gomod == "" || gomod == os.DevNull {
-		return fmt.Errorf("not inside the pilotrf module (go env GOMOD is empty)")
+	if (opts.historyPath == "") != (opts.label == "") {
+		fmt.Fprintln(os.Stderr, "-bench-history and -bench-label go together")
+		return 2
 	}
 
-	args := []string{"test", "-run=^$", "-bench=.", "-benchtime=1x", "."}
-	cmd := exec.Command(goBin, args...)
-	cmd.Dir = filepath.Dir(gomod)
-	var out bytes.Buffer
-	cmd.Stdout = &out
-	cmd.Stderr = os.Stderr
-	fmt.Fprintf(os.Stderr, "running %s %s (in %s)\n", goBin, strings.Join(args, " "), cmd.Dir)
-	if err := cmd.Run(); err != nil {
-		return fmt.Errorf("benchmark run failed: %w\n%s", err, out.String())
+	harness := experiments.BenchHarness{}
+	runs := make([][]benchjson.Benchmark, 0, opts.samples)
+	for i := 1; i <= opts.samples; i++ {
+		fmt.Fprintf(os.Stderr, "sample %d/%d: %s\n", i, opts.samples, harness.CommandLine())
+		benches, err := harness.RunSample()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		runs = append(runs, benches)
 	}
 
-	benches, err := benchjson.Parse(bytes.NewReader(out.Bytes()))
-	if err != nil {
-		return err
+	if opts.jsonPath != "" {
+		rep := benchjson.NewReport(harness.CommandLine(), runs[0])
+		f, err := os.Create(opts.jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := rep.Write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("wrote %d benchmarks to %s\n", len(runs[0]), opts.jsonPath)
 	}
-	if len(benches) == 0 {
-		return fmt.Errorf("no benchmark lines in output:\n%s", out.String())
+
+	if opts.historyPath != "" {
+		when := opts.timeUnix
+		if when == 0 {
+			when = time.Now().Unix()
+		}
+		rec, err := benchstore.MergeSamples(opts.label, opts.commit, when, benchstore.CurrentHost(), runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			var ve *benchstore.VarianceError
+			if errors.As(err, &ve) {
+				fmt.Fprintln(os.Stderr, "deterministic-metric variance across samples is a simulator bug, not noise; nothing was recorded")
+			}
+			return 1
+		}
+		if err := benchstore.AppendRecordFile(opts.historyPath, rec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("recorded %q: %d benchmarks x %d samples -> %s\n",
+			opts.label, len(rec.Benchmarks), opts.samples, opts.historyPath)
 	}
-	f, err := os.Create(outPath)
-	if err != nil {
-		return err
-	}
-	rep := benchjson.NewReport("go "+strings.Join(args, " "), benches)
-	if err := rep.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %d benchmarks to %s\n", len(benches), outPath)
-	return nil
+	return 0
 }
 
 func main() {
@@ -97,23 +138,31 @@ func main() {
 // report still written).
 func run() int {
 	var (
-		scale     = flag.Float64("scale", 1, "workload CTA scale factor")
-		sms       = flag.Int("sms", 2, "simulated SMs")
-		only      = flag.String("only", "", "comma-separated experiment list (empty = all)")
-		jsonPath  = flag.String("json", "", "also write the results as JSON to this file")
-		parallel  = flag.Int("parallel", jobs.DefaultWorkers(), "worker count for pre-running the shared simulations (0 disables the warm pass)")
-		httpAddr  = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
-		benchJSON = flag.String("bench-json", "", "run the root benchmark harness once and write parsed results as JSON to this file, then exit")
-		spansPath = flag.String("trace-spans", "", "write the warm pass's span tree here as pilotrf-spans/v1 NDJSON (requires -parallel > 0)")
+		scale        = flag.Float64("scale", 1, "workload CTA scale factor")
+		sms          = flag.Int("sms", 2, "simulated SMs")
+		only         = flag.String("only", "", "comma-separated experiment list (empty = all)")
+		jsonPath     = flag.String("json", "", "also write the results as JSON to this file")
+		parallel     = flag.Int("parallel", jobs.DefaultWorkers(), "worker count for pre-running the shared simulations (0 disables the warm pass)")
+		httpAddr     = flag.String("http", "", "serve expvar/pprof on this address during the sweep (e.g. :6060)")
+		benchJSON    = flag.String("bench-json", "", "run the root benchmark harness and write sample 1 as JSON to this file, then exit")
+		benchSamples = flag.Int("bench-samples", 1, "harness passes to run for -bench-json/-bench-history")
+		benchHistory = flag.String("bench-history", "", "append the multi-sample run to this pilotrf-benchhistory/v1 file")
+		benchLabel   = flag.String("bench-label", "", "run label for the -bench-history record (e.g. PR8)")
+		benchCommit  = flag.String("bench-commit", "", "git revision recorded with the -bench-history record")
+		benchTime    = flag.Int64("bench-time-unix", 0, "injected timestamp for the -bench-history record (0 = now)")
+		spansPath    = flag.String("trace-spans", "", "write the warm pass's span tree here as pilotrf-spans/v1 NDJSON (requires -parallel > 0)")
 	)
 	flag.Parse()
 
-	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 1
-		}
-		return 0
+	if *benchJSON != "" || *benchHistory != "" {
+		return runBench(benchOpts{
+			jsonPath:    *benchJSON,
+			samples:     *benchSamples,
+			historyPath: *benchHistory,
+			label:       *benchLabel,
+			commit:      *benchCommit,
+			timeUnix:    *benchTime,
+		})
 	}
 
 	if *httpAddr != "" {

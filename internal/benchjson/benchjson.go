@@ -121,6 +121,21 @@ func Read(r io.Reader) (Report, error) {
 	return rep, nil
 }
 
+// Index maps a report's benchmarks by name, returning an error naming
+// the first duplicate. Duplicate benchmark names would make one result
+// silently win over the other in any by-name comparison, so consumers
+// that gate on reports (benchdiff, the history store) must reject them.
+func Index(r Report) (map[string]Benchmark, error) {
+	m := make(map[string]Benchmark, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		if _, ok := m[b.Name]; ok {
+			return nil, fmt.Errorf("benchjson: duplicate benchmark %q", b.Name)
+		}
+		m[b.Name] = b
+	}
+	return m, nil
+}
+
 // ReadFile loads a report from disk.
 func ReadFile(path string) (Report, error) {
 	f, err := os.Open(path)

@@ -1,0 +1,324 @@
+// Package benchstat turns multi-sample benchmark timings into gateable
+// verdicts. The simulator's own metrics are deterministic and compared
+// bit-for-bit elsewhere; wall-clock ns/op is the one genuinely noisy
+// quantity in a bench run, so this package gives it the treatment noise
+// deserves: robust per-sample-set summaries (median/MAD/min/max) and a
+// deterministic exact Mann-Whitney U test between two sample sets, with
+// a configurable significance level and minimum effect size so that a
+// verdict requires both statistical evidence and practical relevance.
+//
+// Everything here is pure arithmetic over the input slices: no clocks,
+// no randomness, no global state. Identical inputs always produce
+// identical outputs, which is what lets cmd/benchwatch promise
+// byte-reproducible gate reports.
+package benchstat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary is a robust description of one ns/op sample vector.
+type Summary struct {
+	// N is the sample count.
+	N int
+	// Median is the middle sample (mean of the middle two when N is
+	// even).
+	Median float64
+	// MAD is the median absolute deviation from the median — a robust
+	// spread estimate unaffected by a single outlier sample.
+	MAD float64
+	// Min and Max bound the samples.
+	Min, Max float64
+}
+
+// Summarize computes the robust summary of a sample vector. It panics
+// on an empty input: callers validate sample vectors at the file-format
+// boundary (benchstore rejects empty vectors), so an empty slice here
+// is a programming error, not bad data.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		panic("benchstat: Summarize on empty sample vector")
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	med := median(s)
+	dev := make([]float64, len(s))
+	for i, v := range s {
+		dev[i] = math.Abs(v - med)
+	}
+	sort.Float64s(dev)
+	return Summary{
+		N:      len(s),
+		Median: med,
+		MAD:    median(dev),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// median of an already-sorted slice.
+func median(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// AllEqual reports whether every sample is bit-identical to the first
+// (so NaN == NaN here, and +0 differs from -0). Deterministic metrics
+// are required to pass this across samples of one run; any variance in
+// them is a simulator bug, not noise.
+func AllEqual(samples []float64) bool {
+	for i := 1; i < len(samples); i++ {
+		if math.Float64bits(samples[i]) != math.Float64bits(samples[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+// exactLimit bounds the number of enumerated subsets in the exact
+// permutation test. C(10,5)=252, C(18,9)=48620, C(20,10)=184756 are all
+// comfortably under it; beyond, MannWhitneyU falls back to the normal
+// approximation (still deterministic).
+const exactLimit = 500_000
+
+// MannWhitneyU runs a two-sided Mann-Whitney U test on two sample
+// vectors. It returns the U statistic for x and the two-sided p-value.
+//
+// For small inputs (C(n+m, n) <= 500000, which covers every realistic
+// benchmark sample count) the p-value is exact: every assignment of the
+// pooled midranks to the two groups is enumerated, in integer
+// arithmetic (midranks doubled so ties stay exact), so the result is
+// bit-reproducible and correct under ties. Larger inputs use the
+// tie-corrected normal approximation, which is equally deterministic.
+//
+// Either vector empty returns U=0, p=1: no evidence either way.
+func MannWhitneyU(x, y []float64) (u, p float64) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 0, 1
+	}
+
+	// Pool, sort, and assign midranks doubled (so they are integers
+	// even for ties between an even number of samples).
+	pooled := make([]float64, 0, n+m)
+	pooled = append(pooled, x...)
+	pooled = append(pooled, y...)
+	sort.Float64s(pooled)
+	rank2 := make(map[float64]int64, n+m) // value -> doubled midrank
+	tieGroups := make([]int64, 0, n+m)
+	for i := 0; i < len(pooled); {
+		j := i
+		for j < len(pooled) && pooled[j] == pooled[i] {
+			j++
+		}
+		// ranks i+1..j, midrank = (i+1+j)/2, doubled = i+1+j.
+		rank2[pooled[i]] = int64(i + 1 + j)
+		tieGroups = append(tieGroups, int64(j-i))
+		i = j
+	}
+
+	// Observed doubled rank sum for x, and U from it:
+	// U = R - n(n+1)/2, so 2U = 2R - n(n+1).
+	var r2 int64
+	for _, v := range x {
+		r2 += rank2[v]
+	}
+	u2 := r2 - int64(n)*int64(n+1)
+
+	// Doubled midranks of the pooled values, one per sample.
+	pooled2 := make([]int64, n+m)
+	for i, v := range pooled {
+		pooled2[i] = rank2[v]
+	}
+
+	if binomial(n+m, n) <= exactLimit {
+		p = exactTwoSidedP(pooled2, n, u2)
+	} else {
+		p = normalTwoSidedP(tieGroups, n, m, u2)
+	}
+	return float64(u2) / 2, p
+}
+
+// binomial returns C(n, k), saturating at exactLimit+1 to avoid
+// overflow on absurd inputs.
+func binomial(n, k int) int64 {
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := 0; i < k; i++ {
+		c = c * int64(n-i) / int64(i+1)
+		if c > exactLimit {
+			return exactLimit + 1
+		}
+	}
+	return c
+}
+
+// exactTwoSidedP enumerates every size-n subset of the pooled doubled
+// midranks and counts assignments whose U deviates from the null mean
+// at least as much as the observed one. Integer arithmetic throughout:
+// with doubled ranks, both 2U and the doubled null mean n*m are exact.
+func exactTwoSidedP(pooled2 []int64, n int, obsU2 int64) float64 {
+	total := len(pooled2)
+	m := total - n
+	// 2*E[U] under the null is n*m.
+	mean2 := int64(n) * int64(m)
+	obsDev := abs64(obsU2 - mean2)
+
+	var count, extreme int64
+	var walk func(start, depth int, sum2 int64)
+	walk = func(start, depth int, sum2 int64) {
+		if depth == n {
+			count++
+			u2 := sum2 - int64(n)*int64(n+1)
+			if abs64(u2-mean2) >= obsDev {
+				extreme++
+			}
+			return
+		}
+		for i := start; i <= total-(n-depth); i++ {
+			walk(i+1, depth+1, sum2+pooled2[i])
+		}
+	}
+	walk(0, 0, 0)
+	return float64(extreme) / float64(count)
+}
+
+// normalTwoSidedP is the tie-corrected normal approximation, used only
+// past the exact enumeration limit.
+func normalTwoSidedP(tieGroups []int64, n, m int, u2 int64) float64 {
+	fn, fm := float64(n), float64(m)
+	nTot := fn + fm
+	mean := fn * fm / 2
+	tieCorr := 0.0
+	for _, t := range tieGroups {
+		ft := float64(t)
+		tieCorr += ft*ft*ft - ft
+	}
+	variance := fn * fm / 12 * (nTot + 1 - tieCorr/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1 // every pooled value tied: no evidence possible
+	}
+	z := math.Abs(float64(u2)/2-mean) / math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2)
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MinAttainableP is the smallest two-sided p-value any outcome can
+// reach with n and m samples and no ties: 2/C(n+m, n). If it exceeds
+// the chosen alpha, the sample counts are structurally too small to
+// ever flag anything — worth surfacing instead of silently passing.
+func MinAttainableP(n, m int) float64 {
+	if n == 0 || m == 0 {
+		return 1
+	}
+	c := binomial(n+m, n)
+	if c > exactLimit {
+		return 0 // effectively unbounded resolution
+	}
+	p := 2 / float64(c)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Verdict classifies a comparison of two ns/op sample vectors.
+type Verdict int
+
+const (
+	// Indistinguishable: no statistically significant difference at the
+	// chosen alpha, or a significant one smaller than the minimum
+	// effect size.
+	Indistinguishable Verdict = iota
+	// Slower: new is significantly slower than old by at least the
+	// minimum effect — a gateable regression.
+	Slower
+	// Faster: new is significantly faster than old by at least the
+	// minimum effect — an improvement, reported but never gated.
+	Faster
+)
+
+// String names the verdict the way the gate prints it.
+func (v Verdict) String() string {
+	switch v {
+	case Slower:
+		return "SLOWER"
+	case Faster:
+		return "FASTER"
+	default:
+		return "indistinguishable"
+	}
+}
+
+// Comparison is the full result of comparing old vs new sample vectors.
+type Comparison struct {
+	// Verdict is the classification under the given alpha and minimum
+	// effect size.
+	Verdict Verdict
+	// U and P are the Mann-Whitney statistic and two-sided p-value.
+	U, P float64
+	// OldMedian and NewMedian summarize the two vectors.
+	OldMedian, NewMedian float64
+	// Effect is the relative median change (new-old)/old; +1.0 is a 2x
+	// slowdown. 0 when the old median is 0.
+	Effect float64
+	// MinP is the smallest p-value attainable at these sample counts;
+	// when MinP > alpha the comparison is structurally underpowered.
+	MinP float64
+}
+
+// Underpowered reports whether no outcome at these sample counts could
+// have reached significance at the given alpha.
+func (c Comparison) Underpowered(alpha float64) bool {
+	return c.MinP > alpha
+}
+
+// Compare runs the Mann-Whitney test and applies the decision rule: a
+// verdict of Slower or Faster requires p < alpha AND a relative median
+// change of at least minEffect. alpha must be in (0, 1) and minEffect
+// non-negative; Compare panics otherwise (flag validation happens at
+// the CLI boundary).
+func Compare(old, new []float64, alpha, minEffect float64) Comparison {
+	if !(alpha > 0 && alpha < 1) {
+		panic(fmt.Sprintf("benchstat: alpha %v outside (0, 1)", alpha))
+	}
+	if minEffect < 0 || math.IsNaN(minEffect) {
+		panic(fmt.Sprintf("benchstat: negative min effect %v", minEffect))
+	}
+	u, p := MannWhitneyU(old, new)
+	c := Comparison{
+		U:    u,
+		P:    p,
+		MinP: MinAttainableP(len(old), len(new)),
+	}
+	if len(old) > 0 {
+		c.OldMedian = Summarize(old).Median
+	}
+	if len(new) > 0 {
+		c.NewMedian = Summarize(new).Median
+	}
+	if c.OldMedian != 0 {
+		c.Effect = (c.NewMedian - c.OldMedian) / c.OldMedian
+	}
+	if p < alpha && math.Abs(c.Effect) >= minEffect {
+		if c.Effect > 0 {
+			c.Verdict = Slower
+		} else if c.Effect < 0 {
+			c.Verdict = Faster
+		}
+	}
+	return c
+}

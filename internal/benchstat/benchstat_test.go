@@ -1,0 +1,230 @@
+package benchstat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	// deviations from 3: {2,2,1,1,0} -> MAD 1
+	if s.MAD != 1 {
+		t.Errorf("MAD = %v, want 1", s.MAD)
+	}
+
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median = %v, want 2.5", even.Median)
+	}
+
+	one := Summarize([]float64{7})
+	if one.Median != 7 || one.MAD != 0 || one.Min != 7 || one.Max != 7 {
+		t.Errorf("single-sample summary = %+v", one)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty input")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestAllEqual(t *testing.T) {
+	nan := math.NaN()
+	for _, tc := range []struct {
+		samples []float64
+		want    bool
+	}{
+		{nil, true},
+		{[]float64{1}, true},
+		{[]float64{1, 1, 1}, true},
+		{[]float64{1, 1.0000001}, false},
+		{[]float64{nan, nan}, true}, // bit-identity, not IEEE equality
+		{[]float64{0, math.Copysign(0, -1)}, false},
+	} {
+		if got := AllEqual(tc.samples); got != tc.want {
+			t.Errorf("AllEqual(%v) = %v, want %v", tc.samples, got, tc.want)
+		}
+	}
+}
+
+// TestMannWhitneyKnownValues pins exact p-values that can be checked by
+// hand (and against R's wilcox.test with exact=TRUE).
+func TestMannWhitneyKnownValues(t *testing.T) {
+	// Complete separation at n=m=3: U=0, p = 2/C(6,3) = 0.1.
+	u, p := MannWhitneyU([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if u != 0 {
+		t.Errorf("U = %v, want 0", u)
+	}
+	if math.Abs(p-0.1) > 1e-12 {
+		t.Errorf("p = %v, want 0.1", p)
+	}
+
+	// Complete separation at n=m=5: p = 2/C(10,5) = 2/252.
+	_, p = MannWhitneyU([]float64{1, 2, 3, 4, 5}, []float64{10, 11, 12, 13, 14})
+	if want := 2.0 / 252; math.Abs(p-want) > 1e-12 {
+		t.Errorf("p = %v, want %v", p, want)
+	}
+
+	// Identical constant vectors: everything tied, p must be 1.
+	_, p = MannWhitneyU([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if p != 1 {
+		t.Errorf("all-tied p = %v, want 1", p)
+	}
+
+	// Empty side: no evidence.
+	if _, p := MannWhitneyU(nil, []float64{1}); p != 1 {
+		t.Errorf("empty-side p = %v, want 1", p)
+	}
+}
+
+func TestMannWhitneySymmetry(t *testing.T) {
+	x := []float64{1.5, 2.5, 2.5, 9}
+	y := []float64{2.5, 3, 4, 4, 8}
+	ux, px := MannWhitneyU(x, y)
+	uy, py := MannWhitneyU(y, x)
+	if px != py {
+		t.Errorf("p not symmetric: %v vs %v", px, py)
+	}
+	if got, want := ux+uy, float64(len(x)*len(y)); got != want {
+		t.Errorf("Ux+Uy = %v, want n*m = %v", got, want)
+	}
+	if px <= 0 || px > 1 {
+		t.Errorf("p = %v outside (0, 1]", px)
+	}
+}
+
+// TestMannWhitneyDeterministic: identical inputs always give identical
+// bits, including through the normal-approximation path.
+func TestMannWhitneyDeterministic(t *testing.T) {
+	big := func(base float64) []float64 {
+		out := make([]float64, 15) // C(30,15) is past the exact limit
+		for i := range out {
+			out[i] = base + float64(i%4)*0.01
+		}
+		return out
+	}
+	x, y := big(1.0), big(2.0)
+	u1, p1 := MannWhitneyU(x, y)
+	u2, p2 := MannWhitneyU(x, y)
+	if u1 != u2 || math.Float64bits(p1) != math.Float64bits(p2) {
+		t.Errorf("nondeterministic: (%v,%v) vs (%v,%v)", u1, p1, u2, p2)
+	}
+	if p1 > 1e-4 {
+		t.Errorf("separated 15v15 p = %v, want tiny", p1)
+	}
+}
+
+func TestMinAttainableP(t *testing.T) {
+	if got, want := MinAttainableP(3, 3), 0.1; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinAttainableP(3,3) = %v, want %v", got, want)
+	}
+	if got, want := MinAttainableP(5, 5), 2.0/252; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinAttainableP(5,5) = %v, want %v", got, want)
+	}
+	if got := MinAttainableP(1, 1); got != 1 {
+		t.Errorf("MinAttainableP(1,1) = %v, want 1", got)
+	}
+	if got := MinAttainableP(0, 5); got != 1 {
+		t.Errorf("MinAttainableP(0,5) = %v, want 1", got)
+	}
+	if got := MinAttainableP(15, 15); got != 0 {
+		t.Errorf("MinAttainableP(15,15) = %v, want 0 (normal path)", got)
+	}
+}
+
+// TestCompare2xSlowdownAt5Samples is the acceptance case: a synthetic
+// 2x ns/op slowdown at 5 samples per side must be flagged.
+func TestCompare2xSlowdownAt5Samples(t *testing.T) {
+	old := []float64{100, 101, 99, 100.5, 99.5}
+	slow := []float64{200, 202, 198, 201, 199}
+	c := Compare(old, slow, 0.05, 0.10)
+	if c.Verdict != Slower {
+		t.Fatalf("verdict = %v (p=%v effect=%v), want SLOWER", c.Verdict, c.P, c.Effect)
+	}
+	if math.Abs(c.Effect-1.0) > 0.05 {
+		t.Errorf("effect = %v, want ~1.0 (2x)", c.Effect)
+	}
+	if c.Underpowered(0.05) {
+		t.Error("5v5 must not be underpowered at alpha 0.05")
+	}
+
+	// The mirror image is an improvement, not a regression.
+	if c := Compare(slow, old, 0.05, 0.10); c.Verdict != Faster {
+		t.Errorf("mirror verdict = %v, want FASTER", c.Verdict)
+	}
+}
+
+// TestCompareIdenticalSetsNotFlagged: re-running the exact same sample
+// set must never be flagged.
+func TestCompareIdenticalSetsNotFlagged(t *testing.T) {
+	s := []float64{100, 105, 98, 102, 101}
+	c := Compare(s, s, 0.05, 0)
+	if c.Verdict != Indistinguishable {
+		t.Fatalf("verdict = %v (p=%v), want indistinguishable", c.Verdict, c.P)
+	}
+	if c.P != 1 {
+		t.Errorf("identical-set p = %v, want 1", c.P)
+	}
+}
+
+// TestCompareMinEffectSuppresses: a statistically significant but tiny
+// shift stays indistinguishable when it is below the minimum effect.
+func TestCompareMinEffectSuppresses(t *testing.T) {
+	old := []float64{100, 100.1, 99.9, 100.05, 99.95}
+	new := []float64{101, 101.1, 100.9, 101.05, 100.95} // +1%, fully separated
+	if c := Compare(old, new, 0.05, 0); c.Verdict != Slower {
+		t.Fatalf("zero min-effect: verdict = %v (p=%v), want SLOWER", c.Verdict, c.P)
+	}
+	if c := Compare(old, new, 0.05, 0.10); c.Verdict != Indistinguishable {
+		t.Errorf("10%% min-effect: verdict = %v, want indistinguishable", c.Verdict)
+	}
+}
+
+// TestCompareUnderpowered: 1v1 can never reach significance; the
+// comparison must say so rather than flag or silently pass.
+func TestCompareUnderpowered(t *testing.T) {
+	c := Compare([]float64{100}, []float64{500}, 0.05, 0.10)
+	if c.Verdict != Indistinguishable {
+		t.Errorf("1v1 verdict = %v, want indistinguishable", c.Verdict)
+	}
+	if !c.Underpowered(0.05) {
+		t.Errorf("1v1 MinP = %v, should be underpowered at 0.05", c.MinP)
+	}
+}
+
+func TestCompareBadParamsPanic(t *testing.T) {
+	for _, tc := range []struct{ alpha, minEffect float64 }{
+		{0, 0}, {1, 0}, {-0.05, 0}, {0.05, -1}, {0.05, math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for alpha=%v minEffect=%v", tc.alpha, tc.minEffect)
+				}
+			}()
+			Compare([]float64{1}, []float64{2}, tc.alpha, tc.minEffect)
+		}()
+	}
+}
+
+// TestExactMatchesNormalApproximation: on a moderate untied input the
+// exact p and the normal approximation should roughly agree, guarding
+// against a sign or scale slip in either path.
+func TestExactMatchesNormalApproximation(t *testing.T) {
+	x := []float64{1, 4, 6, 9, 12, 15, 17, 20}
+	y := []float64{2, 3, 7, 8, 13, 16, 19, 22}
+	u, pExact := MannWhitneyU(x, y)
+	// Untied data: doubled U is exact, tie groups are all singletons
+	// (zero correction).
+	pNormal := normalTwoSidedP(nil, len(x), len(y), int64(2*u))
+	if math.Abs(pExact-pNormal) > 0.1 {
+		t.Errorf("exact %v vs normal %v diverge", pExact, pNormal)
+	}
+}

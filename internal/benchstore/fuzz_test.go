@@ -1,0 +1,46 @@
+package benchstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadHistory asserts the pilotrf-benchhistory/v1 reader never
+// panics on arbitrary input, and that anything it accepts survives a
+// write→read→write round trip byte-identically (the canonicalization
+// property benchwatch gate/report reproducibility relies on).
+func FuzzReadHistory(f *testing.F) {
+	f.Add(`{"schema":"pilotrf-benchhistory/v1"}` + "\n")
+	f.Add(`{"schema":"pilotrf-benchhistory/v1"}` + "\n" +
+		`{"label":"PR2","commit":"abc","time_unix":100,"host":{"goos":"linux","goarch":"amd64","num_cpu":4,"go_version":"go1.24.0"},` +
+		`"benchmarks":[{"name":"BenchmarkA","ns_per_op":[100,110],"metrics":{"cycles":500}}]}` + "\n")
+	f.Add(`{"schema":"pilotrf-benchhistory/v1"}` + "\n" +
+		`{"label":"a","time_unix":1,"host":{"goos":"l","goarch":"a","num_cpu":1,"go_version":"g"},"benchmarks":[{"name":"B","ns_per_op":[1]}]}` + "\n" +
+		`{"label":"b","time_unix":2,"host":{"goos":"l","goarch":"a","num_cpu":1,"go_version":"g"},"benchmarks":[{"name":"B","ns_per_op":[2]}]}` + "\n")
+	f.Add(`{"schema":"pilotrf-benchhistory/v0"}` + "\n")
+	f.Add(`{"label":"no-header"}` + "\n")
+	f.Add("{nope\n")
+	f.Add(`{"schema":"pilotrf-benchhistory/v1"}` + "\n" + `{"label":"x","benchmarks":[{"name":"A","ns_per_op":[-1]}]}` + "\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		h, err := ReadHistory(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteHistory(&buf, h); err != nil {
+			t.Fatalf("accepted history failed to write: %v", err)
+		}
+		back, err := ReadHistory(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("rewrite unreadable: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteHistory(&buf2, back); err != nil {
+			t.Fatalf("second write: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

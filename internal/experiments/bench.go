@@ -1,0 +1,85 @@
+package experiments
+
+// The bench-harness runner: executes the root bench_test.go suite (one
+// full pass per sample) and parses the results. cmd/experiments
+// -bench-json/-bench-samples and cmd/benchwatch record both drive the
+// suite through this one implementation, so a "sample" means the same
+// thing everywhere: one `go test -run=^$ -bench=. -benchtime=1x .`
+// pass over every table and figure of the paper.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"pilotrf/internal/benchjson"
+)
+
+// benchGoArgs is the canonical harness invocation, relative to the
+// module root.
+var benchGoArgs = []string{"test", "-run=^$", "-bench=.", "-benchtime=1x", "."}
+
+// BenchHarness runs the root benchmark suite.
+type BenchHarness struct {
+	// Command, when non-empty, replaces the default `go test` argv —
+	// the escape hatch tests use to substitute a fast fake suite.
+	Command []string
+	// Stderr receives the child's stderr; nil means os.Stderr.
+	Stderr io.Writer
+}
+
+// CommandLine describes the command one sample executes, for report
+// provenance strings.
+func (h BenchHarness) CommandLine() string {
+	if len(h.Command) > 0 {
+		return strings.Join(h.Command, " ")
+	}
+	return "go " + strings.Join(benchGoArgs, " ")
+}
+
+// RunSample executes one full harness pass and returns the parsed
+// benchmark lines.
+func (h BenchHarness) RunSample() ([]benchjson.Benchmark, error) {
+	var cmd *exec.Cmd
+	if len(h.Command) > 0 {
+		cmd = exec.Command(h.Command[0], h.Command[1:]...)
+	} else {
+		goBin, err := exec.LookPath("go")
+		if err != nil {
+			return nil, fmt.Errorf("bench harness needs the go toolchain: %w", err)
+		}
+		modOut, err := exec.Command(goBin, "env", "GOMOD").Output()
+		if err != nil {
+			return nil, fmt.Errorf("locating module root: %w", err)
+		}
+		gomod := strings.TrimSpace(string(modOut))
+		if gomod == "" || gomod == os.DevNull {
+			return nil, fmt.Errorf("not inside the pilotrf module (go env GOMOD is empty)")
+		}
+		cmd = exec.Command(goBin, benchGoArgs...)
+		cmd.Dir = filepath.Dir(gomod)
+	}
+
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	if h.Stderr != nil {
+		cmd.Stderr = h.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("benchmark run failed: %w\n%s", err, out.String())
+	}
+	benches, err := benchjson.Parse(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	if len(benches) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in output:\n%s", out.String())
+	}
+	return benches, nil
+}
