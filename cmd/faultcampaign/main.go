@@ -22,9 +22,18 @@
 //
 //	faultcampaign [-bench csv] [-designs csv] [-protect csv]
 //	              [-trials n] [-rate f] [-seed n] [-scale f] [-sms n]
-//	              [-parallel n] [-cache-dir dir]
+//	              [-parallel n] [-cache-dir dir] [-coordinator url]
 //	              [-trace-spans spans.ndjson] [-trace-perfetto trace.json]
 //	              [-out report.json] [-v]
+//
+// -coordinator runs the campaign on a pilotserve coordinator's worker
+// fleet instead of the local pool: the spec is submitted as a job, the
+// NDJSON progress is streamed, and the resulting report is
+// byte-identical to a local run of the same flags (the fleet merges
+// remotely computed cells in the same canonical order). The client
+// rides out coordinator restarts by resubmitting — cells completed
+// before a crash replay from the coordinator's cache. -trace-spans and
+// -trace-perfetto fetch the job's span tree from the coordinator.
 //
 // The golden runs and every cell's trials are independent simulations;
 // -parallel runs them on a work-stealing pool (internal/jobs) with one
@@ -113,6 +122,7 @@ func run(args []string, stdout io.Writer) error {
 		sms       = fs.Int("sms", 2, "number of SMs")
 		parallel  = fs.Int("parallel", jobs.DefaultWorkers(), "worker count for golden runs and trials (1 = sequential; same bytes either way)")
 		cacheDir  = fs.String("cache-dir", "", "persist golden runs and finished cells here (content-addressed; corrupt entries recompute)")
+		coordURL  = fs.String("coordinator", "", "run the campaign on this pilotserve coordinator (-role coordinator) instead of locally; the report is byte-identical either way")
 		outPath   = fs.String("out", "", "write the JSON report here (empty = stdout)")
 		spansPath = fs.String("trace-spans", "", "write the campaign span tree here as pilotrf-spans/v1 NDJSON")
 		perfPath  = fs.String("trace-perfetto", "", "write the campaign span tree here as Perfetto trace_event JSON")
@@ -147,64 +157,107 @@ func run(args []string, stdout io.Writer) error {
 		return usageError{err}
 	}
 
-	var cache *jobs.Cache
-	if *cacheDir != "" {
-		var err error
-		if cache, err = jobs.OpenCache(*cacheDir); err != nil {
-			return err
-		}
+	cellRow := func(c campaign.Cell) {
+		o := c.Outcomes
+		fmt.Fprintf(stdout, "%-14s %-8s %-10s %7d %7d %7d %7d %9d\n",
+			c.Design, c.Protection, c.Workload,
+			o.Masked, o.Corrected, o.DetectedUnrecoverable, o.SDC, c.Injected)
 	}
-	pool, err := jobs.New(jobs.Config{Workers: *parallel})
-	if err != nil {
-		return err
-	}
-	defer pool.Close()
-
-	opt := campaign.Options{Pool: pool, Cache: cache}
-	var rec *trace.Recorder
-	if *spansPath != "" || *perfPath != "" {
-		// Wall-clock sections on: the CLI recording is for humans
-		// reading waterfalls, and the deterministic projection is still
-		// recoverable via trace.StripWall.
-		rec = trace.NewRecorder(true)
-		opt.Trace = rec
-	}
-	if *verbose {
+	cellHeader := func() {
 		fmt.Fprintf(stdout, "%-14s %-8s %-10s %7s %7s %7s %7s %9s\n",
 			"design", "protect", "bench", "masked", "corr", "unrec", "sdc", "injected")
-		opt.CellDone = func(c campaign.Cell) {
-			o := c.Outcomes
-			fmt.Fprintf(stdout, "%-14s %-8s %-10s %7d %7d %7d %7d %9d\n",
-				c.Design, c.Protection, c.Workload,
-				o.Masked, o.Corrected, o.DetectedUnrecoverable, o.SDC, c.Injected)
-		}
-	}
-	rep, err := campaign.Run(context.Background(), spec, opt)
-	if err != nil {
-		return err
 	}
 
-	if rec != nil {
-		spans := rec.Spans()
+	var rep Report
+	var cache *jobs.Cache
+	if *coordURL != "" {
+		// Remote mode: the campaign runs on a pilotserve coordinator's
+		// fleet; -parallel and -cache-dir govern local execution only and
+		// are ignored here (the coordinator owns both).
+		var progress io.Writer
+		if *verbose {
+			progress = os.Stderr
+		}
+		var jobID string
+		var err error
+		rep, jobID, err = runRemote(*coordURL, spec, progress)
+		if err != nil {
+			return err
+		}
 		if *spansPath != "" {
-			if err := trace.WriteSpansFile(*spansPath, spans); err != nil {
+			if err := fetchRemoteTrace(*coordURL, jobID, "", *spansPath); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(spans), *spansPath)
+			fmt.Fprintf(os.Stderr, "wrote remote spans to %s\n", *spansPath)
 		}
 		if *perfPath != "" {
-			f, err := os.Create(*perfPath)
-			if err != nil {
+			if err := fetchRemoteTrace(*coordURL, jobID, "perfetto", *perfPath); err != nil {
 				return err
 			}
-			if err := trace.WritePerfetto(f, spans); err != nil {
-				f.Close()
+			fmt.Fprintf(os.Stderr, "wrote remote Perfetto trace to %s\n", *perfPath)
+		}
+		if *verbose {
+			// Remote cells arrive all at once with the report; the table
+			// is identical to a local run's because the order is
+			// canonical either way.
+			cellHeader()
+			for _, c := range rep.Cells {
+				cellRow(c)
+			}
+		}
+	} else {
+		if *cacheDir != "" {
+			var err error
+			if cache, err = jobs.OpenCache(*cacheDir); err != nil {
 				return err
 			}
-			if err := f.Close(); err != nil {
-				return err
+		}
+		pool, err := jobs.New(jobs.Config{Workers: *parallel})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+
+		opt := campaign.Options{Pool: pool, Cache: cache}
+		var rec *trace.Recorder
+		if *spansPath != "" || *perfPath != "" {
+			// Wall-clock sections on: the CLI recording is for humans
+			// reading waterfalls, and the deterministic projection is still
+			// recoverable via trace.StripWall.
+			rec = trace.NewRecorder(true)
+			opt.Trace = rec
+		}
+		if *verbose {
+			cellHeader()
+			opt.CellDone = cellRow
+		}
+		rep, err = campaign.Run(context.Background(), spec, opt)
+		if err != nil {
+			return err
+		}
+
+		if rec != nil {
+			spans := rec.Spans()
+			if *spansPath != "" {
+				if err := trace.WriteSpansFile(*spansPath, spans); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(spans), *spansPath)
 			}
-			fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s\n", *perfPath)
+			if *perfPath != "" {
+				f, err := os.Create(*perfPath)
+				if err != nil {
+					return err
+				}
+				if err := trace.WritePerfetto(f, spans); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote Perfetto trace to %s\n", *perfPath)
+			}
 		}
 	}
 

@@ -8,6 +8,25 @@
 //
 //	pilotserve [-addr :8091] [-parallel n] [-cache-dir dir]
 //	           [-queue-units n] [-per-client n]
+//	           [-role standalone|coordinator|worker] [-coordinator url]
+//
+// Roles (-role, default standalone):
+//
+//	standalone  — today's behavior: campaigns run on the local pool.
+//	coordinator — additionally serves the fleet wire API
+//	              (/v1/fleet/register, /lease, /heartbeat, /result,
+//	              /cache/{key}) and shards each admitted campaign's
+//	              cells across registered workers under expiring
+//	              leases; a dead worker's cells re-queue, results merge
+//	              in canonical order, and the report stays
+//	              byte-identical to a standalone run. Finished cells
+//	              persist to -cache-dir, so a restarted coordinator
+//	              resumes a campaign from its completed cells.
+//	worker      — connects to -coordinator, registers with a host
+//	              fingerprint, and executes leased cells on the local
+//	              pool through the coordinator's shared result cache,
+//	              heartbeating each lease. Serves only /healthz and
+//	              /metrics locally.
 //
 // API:
 //
@@ -57,6 +76,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -64,8 +85,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
+	"pilotrf/internal/fleet"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
 )
@@ -82,6 +105,8 @@ func run(args []string) int {
 		cacheDir   = fs.String("cache-dir", "", "persist golden runs and cells here across jobs and restarts")
 		queueUnits = fs.Int("queue-units", jobs.DefaultQueueDepth, "max admitted simulation jobs (golden runs + trials) in flight")
 		perClient  = fs.Int("per-client", 8, "max in-flight batch jobs per client")
+		role       = fs.String("role", "standalone", "standalone | coordinator | worker")
+		coordURL   = fs.String("coordinator", "", "coordinator base URL (required for -role worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -92,6 +117,9 @@ func run(args []string) int {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *role == "worker" {
+		return runWorker(*addr, *coordURL, *parallel, logger)
+	}
 	s, err := newServer(serverConfig{
 		workers:    *parallel,
 		queueUnits: *queueUnits,
@@ -99,6 +127,7 @@ func run(args []string) int {
 		cacheDir:   *cacheDir,
 		reg:        telemetry.NewRegistry(),
 		log:        logger,
+		role:       *role,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -111,8 +140,8 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	srv := &http.Server{Handler: s}
-	logger.Info("listening", "addr", ln.Addr().String(),
+	srv := newHTTPServer(s)
+	logger.Info("listening", "addr", ln.Addr().String(), "role", *role,
 		"workers", *parallel, "queue_units", *queueUnits, "version", buildVersion())
 
 	// First signal: drain — stop admitting, finish running jobs, exit 0.
@@ -144,4 +173,51 @@ func run(args []string) int {
 		logger.Error("forced shutdown: jobs abandoned")
 		return 3
 	}
+}
+
+// runWorker is the -role worker main loop: a fleet worker pulling
+// leased cells from the coordinator, plus a local /healthz + /metrics
+// endpoint for probes. SIGINT/SIGTERM stops cleanly: the current cell's
+// lease expires at the coordinator and re-queues elsewhere.
+func runWorker(addr, coordinator string, parallel int, logger *slog.Logger) int {
+	if coordinator == "" {
+		fmt.Fprintln(os.Stderr, "-role worker requires -coordinator URL")
+		return 2
+	}
+	reg := telemetry.NewRegistry()
+	mux := telemetry.NewMux(reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{
+			"status":      "ok",
+			"role":        "worker",
+			"coordinator": coordinator,
+			"go_version":  runtime.Version(),
+			"version":     buildVersion(),
+		})
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	srv := newHTTPServer(mux)
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	logger.Info("worker starting", "addr", ln.Addr().String(),
+		"coordinator", coordinator, "parallel", parallel, "version", buildVersion())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := fleet.RunWorker(ctx, fleet.WorkerConfig{
+		Coordinator: coordinator,
+		Parallel:    parallel,
+		Reg:         reg,
+		Log:         logger,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	logger.Info("worker stopped")
+	return 0
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pilotrf/internal/campaign"
+	"pilotrf/internal/fleet"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
 	"pilotrf/internal/trace"
@@ -61,6 +62,12 @@ type serverConfig struct {
 	// log receives one structured record per request and per job state
 	// change, each carrying the request id. nil discards them (tests).
 	log *slog.Logger
+	// role selects how admitted campaigns execute: "standalone" (or "")
+	// runs them on the local pool exactly as before; "coordinator"
+	// additionally mounts the fleet wire API (/v1/fleet/...) and shards
+	// campaigns across registered workers, falling back to nothing — a
+	// coordinator with no workers simply waits for one.
+	role string
 }
 
 // serveJob is one admitted campaign and its observable progress.
@@ -129,6 +136,7 @@ type server struct {
 	mux   *http.ServeMux
 	pool  *jobs.Pool
 	cache *jobs.Cache
+	fleet *fleet.Coordinator // non-nil in coordinator role
 	log   *slog.Logger
 	start time.Time
 
@@ -217,7 +225,54 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.hHealth, s.handleHealth))
 	s.mux.HandleFunc("/v1/jobs", s.instrument("submit", s.hSubmit, s.handleSubmit))
 	s.mux.HandleFunc("/v1/jobs/", s.instrument("job", s.hJob, s.handleJob))
+	switch cfg.role {
+	case "", "standalone":
+	case "coordinator":
+		s.fleet = fleet.NewCoordinator(fleet.Config{
+			Cache: cache,
+			Reg:   cfg.reg,
+			Log:   logger,
+		})
+		s.fleet.Mount(s.mux)
+	default:
+		pool.Close()
+		return nil, fmt.Errorf("pilotserve: unknown role %q (want standalone or coordinator)", cfg.role)
+	}
 	return s, nil
+}
+
+// newHTTPServer wraps the handler in an http.Server hardened against
+// slow clients: request headers must arrive within ReadHeaderTimeout
+// and whole requests within ReadTimeout (a slowloris trickling bytes is
+// cut off instead of pinning a connection forever), and idle
+// keep-alives are recycled. WriteTimeout stays zero on purpose — job
+// progress streams are long-lived by design.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After value for a client key:
+// deterministic per-client jitter in [1, 4] seconds, so a crowd of
+// simultaneously rejected clients spreads its retries instead of
+// stampeding back in lockstep, while any single client (and the tests
+// pinning these values) sees a stable number. FNV-1a over the key
+// seeds a splitmix64 finisher so near-identical keys decorrelate.
+func retryAfterSeconds(client string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(client); i++ {
+		h ^= uint64(client[i])
+		h *= 1099511628211
+	}
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	return 1 + int(h%4)
 }
 
 // ctxKeyRequestID carries the request id through handler contexts;
@@ -317,8 +372,14 @@ func (s *server) instrument(endpoint string, lat *telemetry.Histogram, h http.Ha
 // ServeHTTP implements http.Handler.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the pool. Call after the last job drained.
-func (s *server) Close() { s.pool.Close() }
+// Close stops the pool and, in coordinator role, the fleet's lease
+// janitor. Call after the last job drained.
+func (s *server) Close() {
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
+	s.pool.Close()
+}
 
 // beginDrain stops admitting work: new submissions get 503 and /healthz
 // reports unhealthy so load balancers stop routing here. Running jobs
@@ -371,6 +432,10 @@ type healthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	GoVersion     string  `json:"go_version"`
 	Version       string  `json:"version"`
+	// Fleet is the coordinator's live topology snapshot; absent (and
+	// absent from the JSON) outside coordinator role, so standalone
+	// health bodies are unchanged.
+	Fleet *fleet.Health `json:"fleet,omitempty"`
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -381,14 +446,19 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(healthResponse{
+	body := healthResponse{
 		Status:        status,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		GoVersion:     runtime.Version(),
 		Version:       buildVersion(),
-	})
+	}
+	if s.fleet != nil {
+		h := s.fleet.Health()
+		body.Fleet = &h
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -434,7 +504,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mRejectedClient.Inc()
 		s.log.Warn("batch rejected", "request_id", rid, "client", client,
 			"reason", "client limit", "limit", s.cfg.perClient)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(client)))
 		http.Error(w, fmt.Sprintf("client %s has too many jobs in flight (limit %d)", client, s.cfg.perClient), http.StatusTooManyRequests)
 		return
 	}
@@ -445,7 +515,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.log.Warn("batch rejected", "request_id", rid, "client", client,
 			"reason", "queue full", "in_flight_units", inFlight, "batch_units", total,
 			"capacity", s.cfg.queueUnits)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(client)))
 		http.Error(w, fmt.Sprintf("queue full: %d units in flight, batch needs %d, capacity %d", inFlight, total, s.cfg.queueUnits), http.StatusTooManyRequests)
 		return
 	}
@@ -535,13 +605,27 @@ func (s *server) runJob(j *serveJob) {
 	s.log.Info("job running", "request_id", j.reqID, "trace_id", j.traceID, "job", j.id,
 		"units", j.units, "queue_wait_seconds", wait.Seconds())
 	t0 := time.Now()
-	rep, err := campaign.Run(trace.NewContext(context.Background(), j.root.Context()), j.spec, campaign.Options{
-		Pool:  s.pool,
-		Cache: s.cache,
-		Progress: func(done, total int) {
-			j.update(func() { j.done, j.total = done, total })
-		},
-	})
+	ctx := trace.NewContext(context.Background(), j.root.Context())
+	progress := func(done, total int) {
+		j.update(func() { j.done, j.total = done, total })
+	}
+	var rep campaign.Report
+	var err error
+	if s.fleet != nil {
+		// Coordinator role: shard the campaign's cells across registered
+		// fleet workers. The merge is canonical, so the report is
+		// byte-identical to the standalone path below.
+		rep, err = s.fleet.RunCampaign(ctx, j.spec, fleet.RunOptions{
+			Progress: progress,
+			Trace:    j.rec,
+		})
+	} else {
+		rep, err = campaign.Run(ctx, j.spec, campaign.Options{
+			Pool:     s.pool,
+			Cache:    s.cache,
+			Progress: progress,
+		})
+	}
 	if err != nil {
 		s.mFailed.Inc()
 		s.log.Error("job failed", "request_id", j.reqID, "trace_id", j.traceID, "job", j.id,

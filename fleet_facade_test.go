@@ -1,0 +1,126 @@
+package pilotrf
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestFleetFacadeEndToEnd drives the distributed layer purely through
+// the facade: a coordinator over an httptest server, one fleet worker,
+// and a report byte-identical to the local RunFaultCampaign path.
+func TestFleetFacadeEndToEnd(t *testing.T) {
+	spec := CampaignSpec{
+		Benchmarks: []string{"sgemm"},
+		Designs:    []string{"part-adaptive"},
+		Protect:    []string{"none"},
+		Trials:     2,
+		Seed:       9,
+		SMs:        1,
+	}
+
+	pool, err := NewWorkerPool(PoolConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	want, err := RunFaultCampaign(context.Background(), spec, CampaignOptions{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache, err := OpenResultCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewFleetCoordinator(FleetConfig{Cache: cache, PollInterval: 20 * time.Millisecond})
+	defer co.Close()
+	mux := http.NewServeMux()
+	co.Mount(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	wctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- RunFleetWorker(wctx, FleetWorkerConfig{Coordinator: ts.URL, Parallel: 2})
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-workerDone:
+		case <-time.After(10 * time.Second):
+			t.Error("fleet worker did not stop")
+		}
+	}()
+
+	got, err := co.RunCampaign(context.Background(), spec, FleetRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(got)
+	b, _ := json.Marshal(want)
+	if string(a) != string(b) {
+		t.Fatalf("fleet report differs from local run:\n%s\n---\n%s", a, b)
+	}
+
+	h := co.Health()
+	if h.WorkersLive != 1 {
+		t.Errorf("health reports %d live workers, want 1", h.WorkersLive)
+	}
+}
+
+// TestFleetFacadePlanProjection: the exported plan enumerates the same
+// grid the campaign reports, in the same order.
+func TestFleetFacadePlanProjection(t *testing.T) {
+	spec := CampaignSpec{
+		Benchmarks: []string{"sgemm"},
+		Designs:    []string{"part-adaptive", "mrf-ntv"},
+		Protect:    []string{"none", "parity"},
+		Trials:     1,
+		Seed:       5,
+		SMs:        1,
+	}
+	pl, err := NewCampaignPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.NumCells() != 4 {
+		t.Fatalf("plan has %d cells, want 4", pl.NumCells())
+	}
+	pool, err := NewWorkerPool(PoolConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	rep, err := RunFaultCampaign(context.Background(), spec, CampaignOptions{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range rep.Cells {
+		ref := pl.Cell(i)
+		if ref.Design != c.Design || ref.Workload != c.Workload || ref.Protect != c.Protection {
+			t.Errorf("cell %d: plan %+v vs report %s/%s/%s", i, ref, c.Design, c.Protection, c.Workload)
+		}
+	}
+}
+
+// TestFleetFacadeRetryPolicy: the exported backoff helper is the shared
+// decorrelated-jitter implementation.
+func TestFleetFacadeRetryPolicy(t *testing.T) {
+	b := RetryPolicy{Base: 5 * time.Millisecond, Budget: 50 * time.Millisecond}.Start()
+	var total time.Duration
+	for {
+		d, ok := b.Next()
+		if !ok {
+			break
+		}
+		total += d
+	}
+	if total != 50*time.Millisecond {
+		t.Fatalf("budget consumed %v, want exactly 50ms", total)
+	}
+}

@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffFirstDelayIsBase: the first retry delay is Base exactly —
+// the immediate schedule must be predictable.
+func TestBackoffFirstDelayIsBase(t *testing.T) {
+	b := Policy{Base: 50 * time.Millisecond}.Start()
+	d, ok := b.Next()
+	if !ok || d != 50*time.Millisecond {
+		t.Fatalf("first delay = %v, %v; want 50ms, true", d, ok)
+	}
+	if b.Attempts() != 1 {
+		t.Fatalf("Attempts = %d, want 1", b.Attempts())
+	}
+}
+
+// TestBackoffDeterministicPerSeed: equal seeds give byte-equal
+// schedules; different seeds decorrelate.
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		b := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Budget: 5 * time.Second, Seed: seed}.Start()
+		var out []time.Duration
+		for {
+			d, ok := b.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, d)
+		}
+	}
+	a, b := schedule(7), schedule(7)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v != %v for equal seeds", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+// TestBackoffBounds: every jittered delay lies in [Base, Cap], and the
+// decorrelated upper bound 3*prev is respected.
+func TestBackoffBounds(t *testing.T) {
+	pol := Policy{Base: 10 * time.Millisecond, Cap: 200 * time.Millisecond, Budget: 10 * time.Second, Seed: 3}
+	b := pol.Start()
+	prev := time.Duration(0)
+	for i := 0; ; i++ {
+		d, ok := b.Next()
+		if !ok {
+			break
+		}
+		if d < 0 || d > pol.Cap {
+			t.Fatalf("delay %d = %v outside [0, %v]", i, d, pol.Cap)
+		}
+		if i > 0 && prev >= pol.Base {
+			hi := 3 * prev
+			if hi > pol.Cap {
+				hi = pol.Cap
+			}
+			if d > hi {
+				t.Fatalf("delay %d = %v exceeds decorrelated bound 3*%v", i, d, prev)
+			}
+		}
+		prev = d
+	}
+}
+
+// TestBackoffBudget: total sleep never exceeds Budget, and Next reports
+// done afterwards.
+func TestBackoffBudget(t *testing.T) {
+	pol := Policy{Base: 30 * time.Millisecond, Cap: 100 * time.Millisecond, Budget: 250 * time.Millisecond}
+	b := pol.Start()
+	var total time.Duration
+	for {
+		d, ok := b.Next()
+		if !ok {
+			break
+		}
+		total += d
+		if total > pol.Budget {
+			t.Fatalf("cumulative sleep %v exceeds budget %v", total, pol.Budget)
+		}
+	}
+	if total != pol.Budget {
+		t.Fatalf("budget not fully consumable: slept %v of %v", total, pol.Budget)
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("Next returned ok after budget exhaustion")
+	}
+}
+
+// TestBackoffSleepHonorsContext: Sleep returns promptly with the ctx
+// error when cancelled mid-delay.
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := Policy{Base: 10 * time.Second}.Start()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := b.Sleep(ctx); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not honor cancellation")
+	}
+}
+
+// TestBackoffDefaults: the zero policy selects sane defaults.
+func TestBackoffDefaults(t *testing.T) {
+	b := Policy{}.Start()
+	d, ok := b.Next()
+	if !ok || d != 100*time.Millisecond {
+		t.Fatalf("zero-policy first delay = %v, %v; want 100ms, true", d, ok)
+	}
+}

@@ -1,0 +1,452 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pilotrf/internal/campaign"
+	"pilotrf/internal/jobs"
+	"pilotrf/internal/trace"
+)
+
+// fleetSpec is the shared test campaign: 8 cells across two workloads,
+// two designs, two schemes.
+func fleetSpec() campaign.Spec {
+	return campaign.Spec{
+		Benchmarks: []string{"sgemm", "nw"},
+		Designs:    []string{"part-adaptive", "mrf-ntv"},
+		Protect:    []string{"none", "parity"},
+		Trials:     2,
+		Seed:       42,
+		SMs:        1,
+	}
+}
+
+// standalone computes fleetSpec once per test binary — the reference
+// report every fleet test compares against.
+var (
+	stdOnce sync.Once
+	stdRep  campaign.Report
+	stdErr  error
+)
+
+func standalone(t *testing.T) campaign.Report {
+	t.Helper()
+	stdOnce.Do(func() {
+		pool, err := jobs.New(jobs.Config{Workers: 2})
+		if err != nil {
+			stdErr = err
+			return
+		}
+		defer pool.Close()
+		stdRep, stdErr = campaign.Run(context.Background(), fleetSpec(), campaign.Options{Pool: pool})
+	})
+	if stdErr != nil {
+		t.Fatal(stdErr)
+	}
+	return stdRep
+}
+
+// newFleet stands up a coordinator over an httptest server with a
+// directory cache, returning both plus the cache dir.
+func newFleet(t *testing.T, cfg Config) (*Coordinator, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	cache, err := jobs.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = cache
+	co := NewCoordinator(cfg)
+	t.Cleanup(co.Close)
+	mux := http.NewServeMux()
+	co.Mount(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return co, ts, dir
+}
+
+// tableRunCell returns a runCell hook that answers instantly from the
+// standalone report — chaos tests exercise the fabric, not the
+// simulator.
+func tableRunCell(t *testing.T) func(context.Context, Lease) (campaign.Cell, []trace.Span, error) {
+	rep := standalone(t)
+	return func(ctx context.Context, l Lease) (campaign.Cell, []trace.Span, error) {
+		if l.Cell < 0 || l.Cell >= len(rep.Cells) {
+			return campaign.Cell{}, nil, fmt.Errorf("cell %d out of range", l.Cell)
+		}
+		return rep.Cells[l.Cell], nil, nil
+	}
+}
+
+// startWorker launches RunWorker in a goroutine, returning a stop
+// function that cancels it and waits for exit.
+func startWorker(t *testing.T, cfg WorkerConfig) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- RunWorker(ctx, cfg) }()
+	stop := func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker exited with %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("worker did not exit after cancel")
+		}
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+func reportBytes(t *testing.T, rep campaign.Report) []byte {
+	t.Helper()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestFleetByteIdentical is the headline property: a 2-worker fleet
+// running real simulations through the remote cache produces a report
+// byte-identical to a standalone single-process run.
+func TestFleetByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	want := standalone(t)
+	co, ts, _ := newFleet(t, Config{PollInterval: 20 * time.Millisecond})
+	for i := 0; i < 2; i++ {
+		startWorker(t, WorkerConfig{Coordinator: ts.URL, Parallel: 2})
+	}
+	rec := trace.NewRecorder(false)
+	got, err := co.RunCampaign(context.Background(), fleetSpec(), RunOptions{Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := reportBytes(t, got), reportBytes(t, want); !bytes.Equal(a, b) {
+		t.Fatalf("fleet report differs from standalone:\n%s\n---\n%s", a, b)
+	}
+	if co.cCompleted.Value() == 0 {
+		t.Fatal("no cells completed through the fleet")
+	}
+	// The trace must form a valid single-rooted tree including the
+	// workers' imported subtrees.
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if _, err := trace.BuildTree(spans); err != nil {
+		t.Fatalf("fleet trace does not build: %v", err)
+	}
+}
+
+// TestFleetLeaseExpiryRequeue kills a worker mid-campaign (registers,
+// takes a lease, goes silent): the lease must expire, the cell re-queue
+// to a live worker, and the report stay byte-identical. The dead
+// worker's late submission must be rejected as stale.
+func TestFleetLeaseExpiryRequeue(t *testing.T) {
+	want := standalone(t)
+	co, ts, _ := newFleet(t, Config{
+		LeaseTTL:     300 * time.Millisecond,
+		PollInterval: 20 * time.Millisecond,
+	})
+
+	// The doomed worker: registered by hand so it can go silent.
+	var reg RegisterResponse
+	postJSON(t, ts.URL+"/v1/fleet/register", RegisterRequest{Schema: WireSchema, Fingerprint: fingerprint(), Capacity: 1}, &reg)
+
+	type result struct {
+		rep campaign.Report
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rep, err := co.RunCampaign(context.Background(), fleetSpec(), RunOptions{})
+		resCh <- result{rep, err}
+	}()
+
+	// Grab one lease and never heartbeat it.
+	var doomed Lease
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := rawPost(t, ts.URL+"/v1/fleet/lease", LeaseRequest{Schema: WireSchema, WorkerID: reg.WorkerID})
+		if resp.StatusCode == http.StatusOK {
+			l, err := ReadLease(bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			doomed = l
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never got a lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Now the live worker joins and finishes everything, including the
+	// doomed cell once its lease expires.
+	startWorker(t, WorkerConfig{Coordinator: ts.URL, runCell: tableRunCell(t), Parallel: 1})
+
+	var res result
+	select {
+	case res = <-resCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("campaign did not finish after worker death")
+	}
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if a, b := reportBytes(t, res.rep), reportBytes(t, want); !bytes.Equal(a, b) {
+		t.Fatalf("post-death report differs from standalone:\n%s\n---\n%s", a, b)
+	}
+	if co.cLeasesExpired.Value() == 0 {
+		t.Fatal("no lease expired")
+	}
+	if co.cRequeued.Value() == 0 {
+		t.Fatal("no cell re-queued")
+	}
+
+	// The doomed worker rises and submits its stale result: 410.
+	cell := want.Cells[doomed.Cell]
+	resp, _ := rawPost(t, ts.URL+"/v1/fleet/result", Result{
+		Schema: WireSchema, WorkerID: reg.WorkerID, LeaseID: doomed.ID,
+		Campaign: doomed.Campaign, Cell: doomed.Cell, CellResult: &cell,
+	})
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale result got HTTP %d, want 410", resp.StatusCode)
+	}
+	if co.cRejects.Value() == 0 {
+		t.Fatal("stale result not counted as reject")
+	}
+}
+
+// TestFleetCoordinatorResume: a coordinator restarted over a cache
+// holding half the campaign replays those cells and dispatches only the
+// gap.
+func TestFleetCoordinatorResume(t *testing.T) {
+	want := standalone(t)
+	pl, err := campaign.NewPlan(fleetSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, ts, dir := newFleet(t, Config{PollInterval: 20 * time.Millisecond})
+	// Simulate the first coordinator's life: half the cells persisted.
+	cache, err := jobs.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := pl.NumCells() / 2
+	for i := 0; i < pre; i++ {
+		if err := cache.Put(pl.CellKey(i), want.Cells[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	leased := map[int]bool{}
+	table := tableRunCell(t)
+	startWorker(t, WorkerConfig{Coordinator: ts.URL, Parallel: 1,
+		runCell: func(ctx context.Context, l Lease) (campaign.Cell, []trace.Span, error) {
+			mu.Lock()
+			leased[l.Cell] = true
+			mu.Unlock()
+			return table(ctx, l)
+		}})
+	got, err := co.RunCampaign(context.Background(), fleetSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := reportBytes(t, got), reportBytes(t, want); !bytes.Equal(a, b) {
+		t.Fatalf("resumed report differs from standalone:\n%s\n---\n%s", a, b)
+	}
+	if got := int(co.cResumed.Value()); got != pre {
+		t.Fatalf("resumed %d cells, want %d", got, pre)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < pre; i++ {
+		if leased[i] {
+			t.Errorf("cell %d was dispatched despite being resumable", i)
+		}
+	}
+	for i := pre; i < pl.NumCells(); i++ {
+		if !leased[i] {
+			t.Errorf("gap cell %d was never dispatched", i)
+		}
+	}
+}
+
+// TestFleetFlakyWorkerExcluded: a worker that keeps failing one cell is
+// excluded from that cell (not the campaign); a healthy worker finishes
+// it and the campaign succeeds.
+func TestFleetFlakyWorkerExcluded(t *testing.T) {
+	want := standalone(t)
+	co, ts, _ := newFleet(t, Config{
+		PollInterval: 20 * time.Millisecond,
+		ExcludeAfter: 2,
+		PoisonAfter:  2,
+	})
+	table := tableRunCell(t)
+	// Flaky worker: always errors on cell 0, fine elsewhere.
+	startWorker(t, WorkerConfig{Coordinator: ts.URL, Parallel: 1,
+		runCell: func(ctx context.Context, l Lease) (campaign.Cell, []trace.Span, error) {
+			if l.Cell == 0 {
+				return campaign.Cell{}, nil, fmt.Errorf("flaky: transient host fault")
+			}
+			return table(ctx, l)
+		}})
+	// Healthy worker joins a beat later so the flaky one hits cell 0
+	// first at least once.
+	time.Sleep(150 * time.Millisecond)
+	startWorker(t, WorkerConfig{Coordinator: ts.URL, Parallel: 1, runCell: table})
+
+	got, err := co.RunCampaign(context.Background(), fleetSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := reportBytes(t, got), reportBytes(t, want); !bytes.Equal(a, b) {
+		t.Fatalf("report differs from standalone after flaky worker:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestFleetPoisonCell: when distinct workers all fail the same cell,
+// the campaign fails with the cell's error instead of looping forever.
+func TestFleetPoisonCell(t *testing.T) {
+	standalone(t)
+	co, ts, _ := newFleet(t, Config{
+		PollInterval: 20 * time.Millisecond,
+		ExcludeAfter: 1, // first failure excludes, forcing worker diversity
+		PoisonAfter:  2,
+	})
+	table := tableRunCell(t)
+	poisoned := func(ctx context.Context, l Lease) (campaign.Cell, []trace.Span, error) {
+		if l.Cell == 3 {
+			return campaign.Cell{}, nil, fmt.Errorf("simulator assertion: bank conflict invariant violated")
+		}
+		return table(ctx, l)
+	}
+	startWorker(t, WorkerConfig{Coordinator: ts.URL, Parallel: 1, runCell: poisoned})
+	startWorker(t, WorkerConfig{Coordinator: ts.URL, Parallel: 1, runCell: poisoned})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := co.RunCampaign(ctx, fleetSpec(), RunOptions{})
+	if err == nil {
+		t.Fatal("poisoned campaign succeeded")
+	}
+	if !strings.Contains(err.Error(), "poison") || !strings.Contains(err.Error(), "bank conflict") {
+		t.Fatalf("error does not identify the poison cell: %v", err)
+	}
+	if co.cPoisoned.Value() == 0 {
+		t.Fatal("poisoned counter not incremented")
+	}
+}
+
+// TestFleetRemoteCacheIntegrity: the remote cache round-trip
+// re-verifies envelope integrity — a corrupted coordinator-side file is
+// a miss for workers, and a corrupt PUT is rejected.
+func TestFleetRemoteCacheIntegrity(t *testing.T) {
+	_, ts, dir := newFleet(t, Config{})
+	remote, err := NewRemoteCache(RemoteCacheConfig{
+		Coordinator: ts.URL,
+		Retry:       Policy{Base: time.Millisecond, Budget: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := jobs.NewKey().Field("kind", "fleet-test").Uint("n", 7).Sum()
+	type payload struct {
+		V int `json:"v"`
+	}
+	if err := remote.Put(key, payload{V: 41}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if !remote.Get(key, &got) || got.V != 41 {
+		t.Fatalf("remote round-trip failed: %+v", got)
+	}
+
+	// Corrupt the coordinator-side file: truncated envelope.
+	path := filepath.Join(dir, key.Hex()+".json")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf[:len(buf)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var after payload
+	if remote.Get(key, &after) {
+		t.Fatal("corrupt remote entry served as a hit")
+	}
+
+	// A corrupt PUT (payload swapped under the same key) is rejected.
+	bad := []byte(`{"schema":"pilotrf-jobcache/v1","key":"` + key.Hex() + `","preimage":"wrong","payload":{"v":1}}`)
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/fleet/cache/"+key.Hex(), bytes.NewReader(bad))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt PUT got HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFleetHealthSnapshot: Health reflects registered workers and
+// campaign state.
+func TestFleetHealthSnapshot(t *testing.T) {
+	co, ts, _ := newFleet(t, Config{PollInterval: 20 * time.Millisecond})
+	var reg RegisterResponse
+	postJSON(t, ts.URL+"/v1/fleet/register", RegisterRequest{Schema: WireSchema, Fingerprint: fingerprint(), Capacity: 4}, &reg)
+	h := co.Health()
+	if h.WorkersLive != 1 || h.WorkersLost != 0 {
+		t.Fatalf("health = %+v, want 1 live worker", h)
+	}
+}
+
+// rawPost posts msg as JSON and returns the response and its body.
+func rawPost(t *testing.T, url string, msg interface{}) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// postJSON posts msg and decodes the 200 response into out.
+func postJSON(t *testing.T, url string, msg, out interface{}) {
+	t.Helper()
+	resp, body := rawPost(t, url, msg)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatal(err)
+	}
+}

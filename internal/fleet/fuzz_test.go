@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadLease fuzzes the fleet's validating wire reader: it must
+// never panic on arbitrary bytes, and anything it accepts must
+// round-trip byte-stably (decode → canonical re-encode → decode gives
+// the same bytes and value — the property the coordinator and workers
+// rely on when leases cross process boundaries).
+func FuzzReadLease(f *testing.F) {
+	var good bytes.Buffer
+	if err := WriteLease(&good, sampleLease()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":"pilotrf-fleet/v1"}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\xff\xfe garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadLease(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteLease(&first, l); err != nil {
+			t.Fatalf("accepted lease failed to encode: %v", err)
+		}
+		l2, err := ReadLease(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := WriteLease(&second, l2); err != nil {
+			t.Fatalf("re-encoding failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("round-trip not byte-stable:\n%q\n%q", first.Bytes(), second.Bytes())
+		}
+	})
+}

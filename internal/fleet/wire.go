@@ -1,0 +1,199 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pilotrf/internal/campaign"
+	"pilotrf/internal/trace"
+)
+
+// WireSchema versions every fleet wire message; bump on incompatible
+// change and mixed-version fleets fail closed at registration instead
+// of corrupting campaigns.
+const WireSchema = "pilotrf-fleet/v1"
+
+// maxWireBytes bounds any single wire message the validating readers
+// accept; a lease or result is a few KB, so 16MB is generous headroom
+// against a runaway or hostile peer, matching internal/trace's reader.
+const maxWireBytes = 16 << 20
+
+// Fingerprint identifies a worker's execution environment, recorded at
+// registration and surfaced in coordinator logs — when one host's cells
+// keep failing, this is how the operator finds the host.
+type Fingerprint struct {
+	Host      string `json:"host"`
+	PID       int    `json:"pid"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// RegisterRequest is POST /v1/fleet/register: a worker announcing
+// itself and its capacity (its local pool's worker count).
+type RegisterRequest struct {
+	Schema      string      `json:"schema"`
+	Fingerprint Fingerprint `json:"fingerprint"`
+	Capacity    int         `json:"capacity"`
+}
+
+// RegisterResponse assigns the worker its id and the fabric's timing
+// contract: heartbeat within TTL or lose the lease; poll for work about
+// every PollMS.
+type RegisterResponse struct {
+	Schema   string `json:"schema"`
+	WorkerID string `json:"worker_id"`
+	TTLMS    int64  `json:"ttl_ms"`
+	PollMS   int64  `json:"poll_ms"`
+}
+
+// LeaseRequest is POST /v1/fleet/lease: a registered worker asking for
+// one cell of work.
+type LeaseRequest struct {
+	Schema   string `json:"schema"`
+	WorkerID string `json:"worker_id"`
+}
+
+// Lease is one granted work item: a self-contained single-cell campaign
+// spec (campaign.Plan.CellSpec), the lease identity the worker must
+// heartbeat and submit under, and the traceparent carrying the
+// coordinator's span tree across the wire. The lease is the fleet's
+// core wire message — ReadLease is the validating reader the fuzz
+// target hammers.
+type Lease struct {
+	Schema string `json:"schema"`
+	// ID is the lease's identity; heartbeats and the result must name
+	// it, and a re-queued cell gets a fresh one, which is how stale
+	// double-completions are rejected.
+	ID string `json:"id"`
+	// Campaign identifies the coordinator-side campaign run.
+	Campaign string `json:"campaign"`
+	// Cell is the canonical cell index within the campaign.
+	Cell int `json:"cell"`
+	// Design, Workload, and Protect name the cell for logs.
+	Design   string `json:"design"`
+	Workload string `json:"workload"`
+	Protect  string `json:"protect"`
+	// Spec is the self-contained single-cell spec to execute.
+	Spec campaign.Spec `json:"spec"`
+	// TTLMS is the lease's time-to-live; heartbeat sooner or the cell
+	// is re-queued.
+	TTLMS int64 `json:"ttl_ms"`
+	// Attempt counts grants of this cell (1 = first try).
+	Attempt int `json:"attempt"`
+	// Traceparent is the W3C traceparent of the coordinator's cell
+	// span; the worker roots its recorded subtree under it. Optional.
+	Traceparent string `json:"traceparent,omitempty"`
+}
+
+// Heartbeat is POST /v1/fleet/heartbeat: the worker renewing its lease.
+type Heartbeat struct {
+	Schema   string `json:"schema"`
+	WorkerID string `json:"worker_id"`
+	LeaseID  string `json:"lease_id"`
+}
+
+// Result is POST /v1/fleet/result: the terminal report for one lease.
+// Exactly one of Cell (Error == "") and Error is meaningful.
+type Result struct {
+	Schema   string `json:"schema"`
+	WorkerID string `json:"worker_id"`
+	LeaseID  string `json:"lease_id"`
+	Campaign string `json:"campaign"`
+	Cell     int    `json:"cell"`
+	// CellResult is the computed campaign cell on success.
+	CellResult *campaign.Cell `json:"cell_result,omitempty"`
+	// Error is the cell's failure message; non-empty marks failure.
+	Error string `json:"error,omitempty"`
+	// Spans is the worker's recorded span subtree, rooted under the
+	// lease's traceparent, imported into the coordinator's tree.
+	Spans []trace.Span `json:"spans,omitempty"`
+}
+
+// WriteLease writes the canonical encoding of a lease: compact JSON,
+// one line. The encoding is a pure function of the value, so
+// read-then-write round-trips are byte-stable (fuzz-asserted).
+func WriteLease(w io.Writer, l Lease) error {
+	buf, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("fleet: encoding lease: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadLease is the validating reader for the lease wire message: it
+// never panics on garbage, rejects anything structurally unsound with a
+// descriptive error, and accepts exactly the values WriteLease can
+// round-trip byte-stably.
+func ReadLease(r io.Reader) (Lease, error) {
+	var l Lease
+	buf, err := io.ReadAll(io.LimitReader(r, maxWireBytes+1))
+	if err != nil {
+		return l, fmt.Errorf("fleet: reading lease: %w", err)
+	}
+	if len(buf) > maxWireBytes {
+		return l, fmt.Errorf("fleet: lease exceeds %d bytes", maxWireBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&l); err != nil {
+		return Lease{}, fmt.Errorf("fleet: decoding lease: %w", err)
+	}
+	// Exactly one JSON value: trailing garbage is a torn or concatenated
+	// message, not a lease.
+	if dec.More() {
+		return Lease{}, fmt.Errorf("fleet: trailing data after lease")
+	}
+	if err := validateLease(l); err != nil {
+		return Lease{}, err
+	}
+	return l, nil
+}
+
+// validateLease enforces the structural invariants a coordinator-minted
+// lease always satisfies.
+func validateLease(l Lease) error {
+	if l.Schema != WireSchema {
+		return fmt.Errorf("fleet: lease schema %q, want %q", l.Schema, WireSchema)
+	}
+	if l.ID == "" {
+		return fmt.Errorf("fleet: lease without id")
+	}
+	if l.Campaign == "" {
+		return fmt.Errorf("fleet: lease %s without campaign", l.ID)
+	}
+	if l.Cell < 0 {
+		return fmt.Errorf("fleet: lease %s has negative cell %d", l.ID, l.Cell)
+	}
+	if l.TTLMS <= 0 {
+		return fmt.Errorf("fleet: lease %s has non-positive ttl %d", l.ID, l.TTLMS)
+	}
+	if l.Attempt < 1 {
+		return fmt.Errorf("fleet: lease %s has attempt %d", l.ID, l.Attempt)
+	}
+	if l.Design == "" || l.Workload == "" || l.Protect == "" {
+		return fmt.Errorf("fleet: lease %s with unnamed cell", l.ID)
+	}
+	if l.Traceparent != "" {
+		if _, _, ok := trace.ParseTraceparent(l.Traceparent); !ok {
+			return fmt.Errorf("fleet: lease %s has malformed traceparent %q", l.ID, l.Traceparent)
+		}
+	}
+	// The spec must be structurally sound; full semantic validation
+	// (names resolve, scale in range) happens when the worker compiles
+	// it, but a lease's spec is always a single-cell spec, so the axes
+	// must be present and the counts non-negative. NaN/Inf cannot
+	// appear — JSON has no tokens for them.
+	if len(l.Spec.Benchmarks) == 0 || len(l.Spec.Designs) == 0 || len(l.Spec.Protect) == 0 {
+		return fmt.Errorf("fleet: lease %s spec is not a resolved cell spec", l.ID)
+	}
+	if l.Spec.Trials < 0 || l.Spec.SMs < 0 || l.Spec.Rate < 0 || l.Spec.Scale < 0 {
+		return fmt.Errorf("fleet: lease %s has a negative spec field", l.ID)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/campaign"
+)
+
+// sampleLease is a structurally valid lease as the coordinator mints
+// them.
+func sampleLease() Lease {
+	return Lease{
+		Schema:   WireSchema,
+		ID:       "l-7",
+		Campaign: "c-1",
+		Cell:     3,
+		Design:   "part-adaptive",
+		Workload: "sgemm",
+		Protect:  "parity",
+		Spec: campaign.Spec{
+			Benchmarks: []string{"sgemm"},
+			Designs:    []string{"part-adaptive"},
+			Protect:    []string{"parity"},
+			Trials:     2,
+			Seed:       42,
+			SMs:        1,
+		},
+		TTLMS:       10000,
+		Attempt:     1,
+		Traceparent: "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01",
+	}
+}
+
+// TestLeaseRoundTrip: Write → Read preserves the value, and a second
+// Write is byte-identical (the canonical-encoding contract).
+func TestLeaseRoundTrip(t *testing.T) {
+	want := sampleLease()
+	var buf bytes.Buffer
+	if err := WriteLease(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadLease(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	var again bytes.Buffer
+	if err := WriteLease(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again.Bytes()) {
+		t.Fatalf("re-encoding differs:\n%q\n%q", first, again.Bytes())
+	}
+}
+
+// TestReadLeaseRejects: each structural violation is rejected with a
+// descriptive error, never accepted or panicked on.
+func TestReadLeaseRejects(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*Lease)
+	}{
+		{"wrong schema", func(l *Lease) { l.Schema = "pilotrf-fleet/v0" }},
+		{"empty id", func(l *Lease) { l.ID = "" }},
+		{"empty campaign", func(l *Lease) { l.Campaign = "" }},
+		{"negative cell", func(l *Lease) { l.Cell = -1 }},
+		{"zero ttl", func(l *Lease) { l.TTLMS = 0 }},
+		{"zero attempt", func(l *Lease) { l.Attempt = 0 }},
+		{"unnamed design", func(l *Lease) { l.Design = "" }},
+		{"unnamed workload", func(l *Lease) { l.Workload = "" }},
+		{"unnamed protect", func(l *Lease) { l.Protect = "" }},
+		{"bad traceparent", func(l *Lease) { l.Traceparent = "00-zz-zz-01" }},
+		{"empty spec", func(l *Lease) { l.Spec = campaign.Spec{} }},
+		{"negative trials", func(l *Lease) { l.Spec.Trials = -1 }},
+	}
+	for _, tc := range mutate {
+		l := sampleLease()
+		tc.f(&l)
+		var buf bytes.Buffer
+		if err := WriteLease(&buf, l); err != nil {
+			t.Fatalf("%s: encoding: %v", tc.name, err)
+		}
+		if _, err := ReadLease(&buf); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestReadLeaseRejectsGarbage: non-JSON, unknown fields, trailing data,
+// and oversize input are all clean errors.
+func TestReadLeaseRejectsGarbage(t *testing.T) {
+	var ok bytes.Buffer
+	if err := WriteLease(&ok, sampleLease()); err != nil {
+		t.Fatal(err)
+	}
+	good := ok.String()
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"not json", "hello\n"},
+		{"truncated", good[:len(good)/2]},
+		{"unknown field", strings.Replace(good, `"schema"`, `"schemaX"`, 1)},
+		{"trailing data", good + good},
+		{"wrong type", strings.Replace(good, `"cell":3`, `"cell":"three"`, 1)},
+	}
+	for _, tc := range cases {
+		if _, err := ReadLease(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+	if _, err := ReadLease(bytes.NewReader(make([]byte, maxWireBytes+1))); err == nil {
+		t.Error("oversize input accepted")
+	}
+}

@@ -1,0 +1,370 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"pilotrf/internal/campaign"
+	"pilotrf/internal/jobs"
+	"pilotrf/internal/telemetry"
+	"pilotrf/internal/trace"
+)
+
+// sleep is time.Sleep, swappable in tests.
+var sleep = time.Sleep
+
+// WorkerConfig configures RunWorker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Client issues the wire requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// Parallel is the local pool's worker count (the capacity announced
+	// at registration). Zero selects jobs.DefaultWorkers().
+	Parallel int
+	// Reg receives the worker-side metrics; nil creates a private
+	// registry.
+	Reg *telemetry.Registry
+	// Log receives structured records; nil discards.
+	Log *slog.Logger
+	// Retry is the transport retry policy (the shared Backoff helper);
+	// zero-value selects the defaults.
+	Retry Policy
+	// runCell, when set, replaces the campaign execution — chaos tests
+	// inject hangs and failures here without simulating anything.
+	runCell func(ctx context.Context, l Lease) (campaign.Cell, []trace.Span, error)
+}
+
+// Worker is one fleet worker: it registers with the coordinator, pulls
+// leased cells, executes them through internal/campaign against the
+// shared remote cache, and submits results, heartbeating throughout.
+type Worker struct {
+	cfg    WorkerConfig
+	id     string
+	ttl    time.Duration
+	poll   time.Duration
+	pool   *jobs.Pool
+	cache  *jobs.Cache
+	client *http.Client
+
+	cLeases   *telemetry.Counter
+	cCellsOK  *telemetry.Counter
+	cCellsErr *telemetry.Counter
+	cRetries  *telemetry.Counter
+	cLost     *telemetry.Counter
+}
+
+// RunWorker registers with the coordinator and processes leases until
+// ctx is cancelled (returns nil) or the coordinator stays unreachable
+// past the retry budget (returns the transport error).
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("fleet: worker without coordinator URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = jobs.DefaultWorkers()
+	}
+	if cfg.Reg == nil {
+		cfg.Reg = telemetry.NewRegistry()
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+	w := &Worker{
+		cfg:       cfg,
+		client:    cfg.Client,
+		cLeases:   cfg.Reg.Counter("fleet_worker_leases"),
+		cCellsOK:  cfg.Reg.Counter("fleet_worker_cells_ok"),
+		cCellsErr: cfg.Reg.Counter("fleet_worker_cells_err"),
+		cRetries:  cfg.Reg.Counter("fleet_worker_retries"),
+		cLost:     cfg.Reg.Counter("fleet_worker_leases_lost"),
+	}
+	if cfg.runCell == nil {
+		pool, err := jobs.New(jobs.Config{Workers: cfg.Parallel, Metrics: cfg.Reg})
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		w.pool = pool
+		cache, err := NewRemoteCache(RemoteCacheConfig{
+			Coordinator: cfg.Coordinator,
+			Client:      cfg.Client,
+			Retry:       cfg.Retry,
+			Reg:         cfg.Reg,
+			Log:         cfg.Log,
+		})
+		if err != nil {
+			return err
+		}
+		w.cache = cache
+	}
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	return w.loop(ctx)
+}
+
+// fingerprint captures this process's execution environment.
+func fingerprint() Fingerprint {
+	host, _ := os.Hostname()
+	return Fingerprint{
+		Host:      host,
+		PID:       os.Getpid(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// post sends one JSON wire message, retrying transport errors and 5xx
+// under the policy. The response body is returned for 200s; a non-2xx
+// terminal status comes back as *statusError.
+func (w *Worker) post(ctx context.Context, path string, msg interface{}) ([]byte, int, error) {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: encoding %s: %w", path, err)
+	}
+	bo := w.cfg.Retry.Start()
+	for {
+		buf, code, retryable, err := w.postOnce(ctx, path, body)
+		if err == nil {
+			return buf, code, nil
+		}
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err()
+		}
+		if retryable {
+			if d, ok := bo.Next(); ok {
+				w.cRetries.Inc()
+				if serr := sleepCtx(ctx, d); serr != nil {
+					return nil, 0, serr
+				}
+				continue
+			}
+			return nil, code, fmt.Errorf("fleet: %s: retry budget exhausted: %w", path, err)
+		}
+		return buf, code, err
+	}
+}
+
+func (w *Worker) postOnce(ctx context.Context, path string, body []byte) (buf []byte, code int, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, 0, true, err
+	}
+	defer resp.Body.Close()
+	buf, rerr := io.ReadAll(io.LimitReader(resp.Body, maxWireBytes+1))
+	if rerr != nil {
+		return nil, resp.StatusCode, true, fmt.Errorf("fleet: %s: reading response: %w", path, rerr)
+	}
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return buf, resp.StatusCode, false, nil
+	case resp.StatusCode >= 500:
+		return nil, resp.StatusCode, true, fmt.Errorf("fleet: %s: HTTP %d", path, resp.StatusCode)
+	default:
+		return buf, resp.StatusCode, false, fmt.Errorf("fleet: %s: HTTP %d: %s", path, resp.StatusCode, firstLine(buf))
+	}
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(b)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// register announces the worker and adopts the coordinator's timing.
+func (w *Worker) register(ctx context.Context) error {
+	buf, _, err := w.post(ctx, "/v1/fleet/register", RegisterRequest{
+		Schema:      WireSchema,
+		Fingerprint: fingerprint(),
+		Capacity:    w.cfg.Parallel,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: registering: %w", err)
+	}
+	var resp RegisterResponse
+	if err := json.Unmarshal(buf, &resp); err != nil || resp.Schema != WireSchema || resp.WorkerID == "" {
+		return fmt.Errorf("fleet: malformed register response %q", firstLine(buf))
+	}
+	w.id = resp.WorkerID
+	w.ttl = time.Duration(resp.TTLMS) * time.Millisecond
+	w.poll = time.Duration(resp.PollMS) * time.Millisecond
+	if w.ttl <= 0 {
+		w.ttl = 10 * time.Second
+	}
+	if w.poll <= 0 {
+		w.poll = 500 * time.Millisecond
+	}
+	w.cfg.Log.Info("registered", "worker", w.id, "ttl", w.ttl.String(), "poll", w.poll.String())
+	return nil
+}
+
+// loop pulls and executes leases until ctx ends.
+func (w *Worker) loop(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		buf, code, err := w.post(ctx, "/v1/fleet/lease", LeaseRequest{Schema: WireSchema, WorkerID: w.id})
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case code == http.StatusNotFound:
+			// Coordinator restarted and forgot us: re-register.
+			w.cfg.Log.Warn("coordinator forgot worker, re-registering", "worker", w.id)
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			return err
+		case code == http.StatusNoContent:
+			if serr := sleepCtx(ctx, w.poll); serr != nil {
+				return nil
+			}
+			continue
+		}
+		lease, err := ReadLease(bytes.NewReader(buf))
+		if err != nil {
+			w.cfg.Log.Error("dropping malformed lease", "error", err.Error())
+			continue
+		}
+		w.cLeases.Inc()
+		w.execute(ctx, lease)
+	}
+}
+
+// execute runs one leased cell under a heartbeat and submits the
+// terminal result.
+func (w *Worker) execute(ctx context.Context, l Lease) {
+	w.cfg.Log.Info("executing cell", "lease", l.ID, "campaign", l.Campaign, "cell", l.Cell,
+		"design", l.Design, "workload", l.Workload, "protect", l.Protect, "attempt", l.Attempt)
+
+	// The heartbeat goroutine renews the lease at TTL/3; a 410 means the
+	// lease was re-queued under us (we were presumed dead) — stop
+	// computing, the result would be rejected anyway.
+	cellCtx, cancel := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(w.ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-cellCtx.Done():
+				return
+			case <-tick.C:
+				_, code, err := w.post(cellCtx, "/v1/fleet/heartbeat", Heartbeat{
+					Schema: WireSchema, WorkerID: w.id, LeaseID: l.ID,
+				})
+				if code == http.StatusGone || code == http.StatusNotFound {
+					w.cfg.Log.Warn("lease lost", "lease", l.ID, "code", code)
+					w.cLost.Inc()
+					cancel()
+					return
+				}
+				if err != nil && cellCtx.Err() == nil {
+					w.cfg.Log.Warn("heartbeat failed", "lease", l.ID, "error", err.Error())
+				}
+			}
+		}
+	}()
+
+	cell, spans, err := w.runCell(cellCtx, l)
+	leaseLost := cellCtx.Err() != nil // read before cancel below taints it
+	cancel()
+	<-hbDone
+
+	if ctx.Err() != nil {
+		return // worker shutting down; the lease will expire and re-queue
+	}
+	if leaseLost {
+		// Lease re-queued under us mid-run: nothing to submit, the cell
+		// is already someone else's.
+		return
+	}
+	res := Result{
+		Schema:   WireSchema,
+		WorkerID: w.id,
+		LeaseID:  l.ID,
+		Campaign: l.Campaign,
+		Cell:     l.Cell,
+	}
+	if err != nil {
+		w.cCellsErr.Inc()
+		res.Error = err.Error()
+		w.cfg.Log.Warn("cell failed", "lease", l.ID, "cell", l.Cell, "error", err.Error())
+	} else {
+		w.cCellsOK.Inc()
+		res.CellResult = &cell
+		res.Spans = spans
+		w.cfg.Log.Info("cell done", "lease", l.ID, "cell", l.Cell)
+	}
+	_, code, serr := w.post(ctx, "/v1/fleet/result", res)
+	if code == http.StatusGone {
+		w.cLost.Inc()
+		w.cfg.Log.Warn("result rejected as stale", "lease", l.ID)
+		return
+	}
+	if serr != nil && ctx.Err() == nil {
+		w.cfg.Log.Error("result submit failed", "lease", l.ID, "error", serr.Error())
+	}
+}
+
+// runCell executes the lease's single-cell campaign spec through
+// internal/campaign, recording a deterministic span subtree rooted
+// under the lease's traceparent.
+func (w *Worker) runCell(ctx context.Context, l Lease) (campaign.Cell, []trace.Span, error) {
+	if w.cfg.runCell != nil {
+		return w.cfg.runCell(ctx, l)
+	}
+	rec := trace.NewRecorder(false)
+	if tid, sid, ok := trace.ParseTraceparent(l.Traceparent); ok {
+		ctx = trace.NewContext(ctx, rec.Adopt(tid, sid))
+	}
+	report, err := campaign.Run(ctx, l.Spec, campaign.Options{
+		Pool:  w.pool,
+		Cache: w.cache,
+		Trace: rec,
+	})
+	if err != nil {
+		return campaign.Cell{}, nil, err
+	}
+	if len(report.Cells) != 1 {
+		return campaign.Cell{}, nil, fmt.Errorf("fleet: cell spec produced %d cells, want 1", len(report.Cells))
+	}
+	return report.Cells[0], rec.Spans(), nil
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 
 	"pilotrf/internal/telemetry"
@@ -101,17 +100,20 @@ type CacheStats struct {
 	Puts    uint64 `json:"puts"`
 }
 
-// Cache is a content-addressed result store: one JSON file per key under
-// a directory, written atomically (temp file + rename) so an interrupted
-// campaign never leaves a truncated entry that a resume would trip over.
+// Cache is a content-addressed result store over a pluggable Backend:
+// by default one JSON file per key under a directory, written atomically
+// (temp file + rename) so an interrupted campaign never leaves a
+// truncated entry that a resume would trip over; the fleet substitutes
+// an HTTP backend so workers share one coordinator-side store.
 //
-// Loads are corruption-tolerant by contract: an unreadable file, a
+// Loads are corruption-tolerant by contract: an unreadable entry, a
 // schema or preimage mismatch, or an undecodable payload makes Get
 // report a miss (counted in Stats().Corrupt) — the caller recomputes and
 // overwrites, it never crashes. A nil *Cache is a valid no-op cache, so
 // call sites need no "-cache-dir set?" branches.
 type Cache struct {
-	dir string
+	dir string // "" unless backed by a directory
+	be  Backend
 
 	mu    sync.Mutex
 	stats CacheStats
@@ -142,19 +144,26 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: creating cache dir: %w", err)
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, be: dirBackend{dir: dir}}, nil
 }
 
-// Dir returns the cache directory ("" for a nil cache).
+// NewCache returns a cache over an arbitrary backend (the fleet's
+// remote HTTP store). The envelope encoding and the integrity checks
+// are identical to the directory cache's.
+func NewCache(be Backend) (*Cache, error) {
+	if be == nil {
+		return nil, fmt.Errorf("jobs: nil cache backend")
+	}
+	return &Cache{be: be}, nil
+}
+
+// Dir returns the cache directory ("" for a nil cache or a non-directory
+// backend).
 func (c *Cache) Dir() string {
 	if c == nil {
 		return ""
 	}
 	return c.dir
-}
-
-func (c *Cache) path(key Key) string {
-	return filepath.Join(c.dir, key.Hex()+".json")
 }
 
 // Get loads the entry for key into out (a JSON-decodable pointer),
@@ -165,7 +174,7 @@ func (c *Cache) Get(key Key, out interface{}) bool {
 	if c == nil {
 		return false
 	}
-	buf, err := os.ReadFile(c.path(key))
+	buf, err := c.be.Load(key.Hex())
 	if err != nil {
 		c.count(func(s *CacheStats) { s.Misses++ })
 		return false
@@ -201,22 +210,53 @@ func (c *Cache) Put(key Key, v interface{}) error {
 		return fmt.Errorf("jobs: encoding cache entry: %w", err)
 	}
 	buf = append(buf, '\n')
-	tmp, err := os.CreateTemp(c.dir, key.Hex()+".tmp-*")
+	if err := c.be.Store(key.Hex(), buf); err != nil {
+		return err
+	}
+	c.count(func(s *CacheStats) { s.Puts++ })
+	return nil
+}
+
+// LoadRaw returns the raw envelope bytes stored under a 16-hex key
+// stem, validated (ValidateEnvelope) before serving — the read side of
+// the fleet coordinator's remote-cache endpoint. Any failure, including
+// a corrupt or mismatched envelope, reports a miss; serving a bad
+// envelope to a worker would only turn into a miss there anyway, so it
+// is cut off at the source. Safe on a nil cache.
+func (c *Cache) LoadRaw(hexKey string) ([]byte, bool) {
+	if c == nil || !ValidHexKey(hexKey) {
+		return nil, false
+	}
+	buf, err := c.be.Load(hexKey)
 	if err != nil {
-		return fmt.Errorf("jobs: cache write: %w", err)
+		c.count(func(s *CacheStats) { s.Misses++ })
+		return nil, false
 	}
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("jobs: cache write: %w", err)
+	if err := ValidateEnvelope(hexKey, buf); err != nil {
+		c.count(func(s *CacheStats) { s.Misses++; s.Corrupt++ })
+		return nil, false
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("jobs: cache write: %w", err)
+	c.count(func(s *CacheStats) { s.Hits++ })
+	return buf, true
+}
+
+// StoreRaw persists envelope bytes under a 16-hex key stem after
+// validating them — the write side of the fleet coordinator's
+// remote-cache endpoint. Unlike Get's tolerant reads, a bad envelope is
+// an error: accepting it would plant a guaranteed future miss (or worse)
+// in the store. Safe on a nil cache (no-op).
+func (c *Cache) StoreRaw(hexKey string, data []byte) error {
+	if c == nil {
+		return nil
 	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("jobs: cache write: %w", err)
+	if !ValidHexKey(hexKey) {
+		return fmt.Errorf("jobs: bad cache key %q", hexKey)
+	}
+	if err := ValidateEnvelope(hexKey, data); err != nil {
+		return err
+	}
+	if err := c.be.Store(hexKey, data); err != nil {
+		return err
 	}
 	c.count(func(s *CacheStats) { s.Puts++ })
 	return nil

@@ -73,6 +73,44 @@ func (r *Recorder) Root(name, traceID string, idParts ...string) *ActiveSpan {
 	return newActive(r, traceID, "", name, idParts)
 }
 
+// Adopt returns a SpanContext pointing at a span that lives in another
+// process — the fleet worker's bridge for a traceparent carried across
+// the wire. Children started on the returned context parent under the
+// remote span id, so when the worker's completed spans are shipped back
+// and Import-ed into the coordinator's recorder, the remote subtree
+// hangs under the coordinator's span exactly as if it had run locally.
+// Returns the inactive zero context when the recorder is nil or either
+// id is malformed, so garbage traceparents degrade to no tracing rather
+// than a torn tree.
+func (r *Recorder) Adopt(traceID, spanID string) SpanContext {
+	if r == nil || !ValidTraceID(traceID) || !ValidSpanID(spanID) {
+		return SpanContext{}
+	}
+	return SpanContext{rec: r, traceID: traceID, spanID: spanID}
+}
+
+// Import appends completed spans recorded elsewhere (a fleet worker's
+// subtree shipped back with its result). Spans with malformed ids are
+// dropped rather than poisoning the tree; parentage is not validated
+// here — BuildTree remains the single consistency gate at serve time.
+// Safe on a nil recorder (no-op).
+func (r *Recorder) Import(spans []Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	for _, s := range spans {
+		if !ValidTraceID(s.Trace) || !ValidSpanID(s.ID) {
+			continue
+		}
+		if s.Parent != "" && !ValidSpanID(s.Parent) {
+			continue
+		}
+		r.spans = append(r.spans, s)
+	}
+	r.mu.Unlock()
+}
+
 // SpanContext identifies an open span for propagation across API
 // boundaries (contexts, batches, goroutines). The zero value is
 // inactive: Start on it returns nil and NewContext returns the context
