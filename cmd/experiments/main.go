@@ -9,7 +9,13 @@
 //	             -bench-commit rev -bench-time-unix t]
 //	            [-only fig1,table1,fig2,fig4,table3,table4,yield,fig10,
 //	             fig11,leakage,fig12,sens,fig13,rfc,swap,area,dynamics,
-//	             voltage,scorecard,ablation,energy]
+//	             voltage,scorecard,ablation,energy,dse]
+//	            [-designs mrf-stv,part-adaptive,...]
+//
+// -only dse sweeps the registered register-file design schemes across
+// their knob grids and prints the energy-vs-IPC Pareto frontier;
+// -designs restricts that sweep to a comma-separated scheme list (an
+// unknown name is a usage error that lists the valid ones).
 //
 // -http serves expvar and net/http/pprof on the given address so long
 // sweeps can be profiled live (go tool pprof http://host/debug/pprof/profile).
@@ -27,6 +33,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -39,6 +46,8 @@ import (
 
 	"pilotrf/internal/benchjson"
 	"pilotrf/internal/benchstore"
+	"pilotrf/internal/design"
+	"pilotrf/internal/dse"
 	"pilotrf/internal/experiments"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/telemetry"
@@ -151,8 +160,21 @@ func run() int {
 		benchCommit  = flag.String("bench-commit", "", "git revision recorded with the -bench-history record")
 		benchTime    = flag.Int64("bench-time-unix", 0, "injected timestamp for the -bench-history record (0 = now)")
 		spansPath    = flag.String("trace-spans", "", "write the warm pass's span tree here as pilotrf-spans/v1 NDJSON (requires -parallel > 0)")
+		designs      = flag.String("designs", "", "comma-separated design scheme list for the dse section (empty = all registered)")
 	)
 	flag.Parse()
+
+	var designList []string
+	for _, name := range strings.Split(*designs, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, ok := design.Lookup(name); !ok {
+			fmt.Fprintf(os.Stderr, "unknown design %q (valid: %s)\n", name, strings.Join(design.SortedNames(), ", "))
+			return 2
+		}
+		designList = append(designList, name)
+	}
 
 	if *benchJSON != "" || *benchHistory != "" {
 		return runBench(benchOpts{
@@ -468,6 +490,27 @@ func run() int {
 		report["scorecard"] = rows
 		fmt.Print(experiments.ScorecardText(rows))
 		fmt.Println()
+	}
+
+	if sel("dse") {
+		fmt.Println("=== Design-space exploration: scheme x knob grid, energy-vs-IPC Pareto frontier ===")
+		rep, err := dse.Sweep(context.Background(), dse.Options{
+			Schemes: designList,
+			Scale:   *scale,
+			SMs:     *sms,
+			Workers: r.Workers,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		report["dse"] = rep
+		if err := dse.WriteTable(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("  %d of %d points on the Pareto frontier (baseline %s)\n\n",
+			len(dse.Frontier(rep.Points)), len(rep.Points), rep.Baseline)
 	}
 
 	if sel("ablation") {

@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	pilotsim [-bench name] [-design mrf-stv|mrf-ntv|part|part-adaptive]
+//	pilotsim [-bench name] [-design <scheme>] (any registered design
+//	         scheme: mrf-stv, mrf-ntv, part, part-adaptive, greener,
+//	         rfc, rfc-hints — see internal/design)
 //	         [-profile static|compiler|pilot|hybrid] [-sched gto|lrr|tl]
 //	         [-sms n] [-scale f] [-v]
 //	         [-trace-out f.json] [-events-out f.ndjson] [-metrics-out f.csv]
@@ -69,6 +71,7 @@ import (
 	"strings"
 	"syscall"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/energy"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
@@ -239,7 +242,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pilotsim", flag.ContinueOnError)
 	var (
 		benchName   = fs.String("bench", "", "benchmark name (empty = all)")
-		design      = fs.String("design", "part-adaptive", "mrf-stv | mrf-ntv | part | part-adaptive")
+		designName  = fs.String("design", "part-adaptive", strings.Join(design.Names(), " | "))
 		prof        = fs.String("profile", "hybrid", "static | compiler | pilot | hybrid")
 		sched       = fs.String("sched", "gto", "gto | lrr | tl | fg")
 		sms         = fs.Int("sms", 2, "number of SMs")
@@ -287,17 +290,9 @@ func run(args []string, stdout io.Writer) error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
-	switch *design {
-	case "mrf-stv":
-		cfg = cfg.WithDesign(regfile.DesignMonolithicSTV)
-	case "mrf-ntv":
-		cfg = cfg.WithDesign(regfile.DesignMonolithicNTV)
-	case "part":
-		cfg = cfg.WithDesign(regfile.DesignPartitioned)
-	case "part-adaptive":
-		cfg = cfg.WithDesign(regfile.DesignPartitionedAdaptive)
-	default:
-		return usageError{fmt.Errorf("unknown design %q", *design)}
+	sch, ok := design.Lookup(*designName)
+	if !ok {
+		return usageError{fmt.Errorf("unknown design %q (valid: %s)", *designName, strings.Join(design.SortedNames(), ", "))}
 	}
 	switch *prof {
 	case "static":
@@ -322,6 +317,13 @@ func run(args []string, stdout io.Writer) error {
 		cfg.Policy = sim.PolicyFetchGroup
 	default:
 		return usageError{fmt.Errorf("unknown scheduler %q", *sched)}
+	}
+	// The scheme applies after -sched so a scheme that mandates its own
+	// scheduler (the RFC schemes run two-level, per the paper) wins over
+	// the flag's default; the four legacy designs leave -sched alone.
+	cfg, err := cfg.WithScheme(sch, sch.DefaultKnobs())
+	if err != nil {
+		return err
 	}
 	if *recordOut != "" && *replayCheck != "" {
 		return usageError{fmt.Errorf("-record-out and -replay-check are mutually exclusive (replay verifies, it does not re-record)")}
@@ -515,7 +517,7 @@ func run(args []string, stdout io.Writer) error {
 				return fmt.Errorf("%s: %w", w.Name, err)
 			}
 			if cfg.Perf != nil {
-				perfEntries = append(perfEntries, perfscope.NewEntry(w.Name, *design, cfg.Perf))
+				perfEntries = append(perfEntries, perfscope.NewEntry(w.Name, *designName, cfg.Perf))
 			}
 			if led != nil {
 				for p, n := range rs.PartAccesses() {

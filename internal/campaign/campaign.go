@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/jobs"
 	"pilotrf/internal/regfile"
@@ -135,20 +136,15 @@ func (s Spec) withDefaults() Spec {
 }
 
 // ParseDesign maps the CLI design names (shared by pilotsim,
-// faultcampaign, and the job server) to designs.
+// faultcampaign, and the job server) to designs through the design
+// scheme registry: any registered scheme name is accepted and resolves
+// to its underlying register-file design at default knobs.
 func ParseDesign(name string) (regfile.Design, error) {
-	switch name {
-	case "mrf-stv":
-		return regfile.DesignMonolithicSTV, nil
-	case "mrf-ntv":
-		return regfile.DesignMonolithicNTV, nil
-	case "part":
-		return regfile.DesignPartitioned, nil
-	case "part-adaptive":
-		return regfile.DesignPartitionedAdaptive, nil
-	default:
-		return 0, fmt.Errorf("unknown design %q", name)
+	sch, ok := design.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("unknown design %q (valid: %s)", name, strings.Join(design.SortedNames(), ", "))
 	}
+	return sch.Base(sch.DefaultKnobs()), nil
 }
 
 // plan is a validated, fully-resolved spec.

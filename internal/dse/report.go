@@ -1,0 +1,237 @@
+// Package dse is the design-space-exploration layer: it sweeps every
+// registered register-file design scheme (internal/design) across its
+// knob grid and the Table I workload pool, prices each grid point with
+// the scheme's own energy model, and reports the energy-vs-performance
+// Pareto frontier.
+//
+// The on-disk artifact is a versioned JSON report ("pilotrf-dse/v1")
+// written canonically — same sweep, same bytes, whatever the worker
+// count — with a validating reader that rejects malformed files
+// (wrong schema, non-finite or negative energy, duplicate grid
+// points) instead of propagating them into downstream analysis.
+package dse
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Schema is the versioned format marker every DSE report carries.
+// Readers reject anything else, so the format can evolve without
+// silently misparsing old files.
+const Schema = "pilotrf-dse/v1"
+
+// Point is one evaluated grid cell: a scheme at one knob setting, run
+// over the whole workload list, with summed timing and the scheme's
+// energy pricing of that aggregate run.
+type Point struct {
+	// Scheme is the design scheme's registry name (e.g. "part-adaptive").
+	Scheme string `json:"scheme"`
+	// Knobs is the knob setting's canonical label ("default" or
+	// "size=4,vdd=ntv"); (Scheme, Knobs) uniquely identifies a point.
+	Knobs string `json:"knobs"`
+	// Base names the underlying regfile design the scheme resolves to.
+	Base string `json:"base"`
+	// Cycles is the simulated cycle total summed over the workloads.
+	Cycles int64 `json:"cycles"`
+	// WarpInstrs is the warp-instruction total summed over the workloads.
+	WarpInstrs uint64 `json:"warp_instrs"`
+	// IPC is warp instructions per cycle over the whole sweep.
+	IPC float64 `json:"ipc"`
+	// TotalAccesses is the register-file access total.
+	TotalAccesses uint64 `json:"total_accesses"`
+	// DynamicPJ is the scheme-priced dynamic energy in picojoules.
+	DynamicPJ float64 `json:"dynamic_pj"`
+	// LeakagePJ is the scheme-priced leakage energy in picojoules.
+	LeakagePJ float64 `json:"leakage_pj"`
+	// TotalPJ is DynamicPJ + LeakagePJ.
+	TotalPJ float64 `json:"total_pj"`
+	// NormEnergy is TotalPJ relative to the report's baseline point.
+	NormEnergy float64 `json:"norm_energy"`
+	// NormCycles is Cycles relative to the report's baseline point.
+	NormCycles float64 `json:"norm_cycles"`
+	// Pareto marks the point as on the energy-vs-performance frontier:
+	// no other point has both lower-or-equal energy and lower-or-equal
+	// cycles with at least one strictly lower.
+	Pareto bool `json:"pareto"`
+}
+
+// Report is one complete design-space sweep. Points appear in
+// canonical order: schemes in registry order, each scheme's knob grid
+// in Grid() order.
+type Report struct {
+	// Schema is always the package Schema constant.
+	Schema string `json:"schema"`
+	// Scale is the workload CTA scale factor the sweep ran at.
+	Scale float64 `json:"scale"`
+	// SMs is the simulated SM count.
+	SMs int `json:"sms"`
+	// Workloads lists the swept workload names in run order.
+	Workloads []string `json:"workloads"`
+	// Baseline is the "scheme/knobs" label normalization divides by.
+	Baseline string `json:"baseline"`
+	// Points are the evaluated grid cells in canonical order.
+	Points []Point `json:"points"`
+}
+
+// Write emits the report canonically: two-space indented JSON with a
+// trailing newline. Byte-identical input produces byte-identical
+// output, which is what the cmd/dse determinism tests compare.
+func Write(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Read parses and validates a pilotrf-dse/v1 report. It rejects wrong
+// or missing schema markers, unknown fields, non-finite or negative
+// energy figures, non-positive cycle counts, and duplicate
+// (scheme, knobs) grid points — a file that reads back successfully is
+// safe to chart without further checking.
+func Read(r io.Reader) (*Report, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("dse: schema %q, want %q", rep.Schema, Schema)
+	}
+	if math.IsNaN(rep.Scale) || math.IsInf(rep.Scale, 0) || rep.Scale <= 0 {
+		return nil, fmt.Errorf("dse: scale %v out of range", rep.Scale)
+	}
+	if rep.SMs <= 0 {
+		return nil, fmt.Errorf("dse: %d SMs", rep.SMs)
+	}
+	seen := make(map[string]bool, len(rep.Points))
+	for i, p := range rep.Points {
+		if p.Scheme == "" {
+			return nil, fmt.Errorf("dse: point %d has no scheme", i)
+		}
+		key := p.Scheme + "/" + p.Knobs
+		if seen[key] {
+			return nil, fmt.Errorf("dse: duplicate grid point %s", key)
+		}
+		seen[key] = true
+		if p.Cycles <= 0 {
+			return nil, fmt.Errorf("dse: point %s has %d cycles", key, p.Cycles)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"dynamic_pj", p.DynamicPJ}, {"leakage_pj", p.LeakagePJ},
+			{"total_pj", p.TotalPJ}, {"norm_energy", p.NormEnergy},
+			{"norm_cycles", p.NormCycles}, {"ipc", p.IPC},
+		} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+				return nil, fmt.Errorf("dse: point %s has %s = %v", key, v.name, v.val)
+			}
+		}
+	}
+	return &rep, nil
+}
+
+// MarkPareto sets each point's Pareto flag: a point is on the frontier
+// when no other point dominates it (lower-or-equal total energy AND
+// lower-or-equal cycles, at least one strictly lower). Ties survive:
+// two identical points are both frontier members.
+func MarkPareto(points []Point) {
+	for i := range points {
+		points[i].Pareto = true
+		for j := range points {
+			if i == j {
+				continue
+			}
+			a, b := &points[i], &points[j]
+			if b.TotalPJ <= a.TotalPJ && b.Cycles <= a.Cycles &&
+				(b.TotalPJ < a.TotalPJ || b.Cycles < a.Cycles) {
+				points[i].Pareto = false
+				break
+			}
+		}
+	}
+}
+
+// Frontier returns the Pareto-marked points sorted by ascending total
+// energy (ties broken by cycles, then scheme/knobs label, so the order
+// is deterministic).
+func Frontier(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalPJ != out[j].TotalPJ {
+			return out[i].TotalPJ < out[j].TotalPJ
+		}
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles < out[j].Cycles
+		}
+		return out[i].Scheme+"/"+out[i].Knobs < out[j].Scheme+"/"+out[j].Knobs
+	})
+	return out
+}
+
+// WriteCSV emits every point as one CSV row (with a pareto column) so
+// the sweep charts directly in any plotting tool.
+func WriteCSV(w io.Writer, r *Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scheme", "knobs", "base", "cycles", "ipc", "total_accesses",
+		"dynamic_pj", "leakage_pj", "total_pj", "norm_energy", "norm_cycles", "pareto",
+	}); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if err := cw.Write([]string{
+			p.Scheme, p.Knobs, p.Base,
+			strconv.FormatInt(p.Cycles, 10),
+			strconv.FormatFloat(p.IPC, 'g', -1, 64),
+			strconv.FormatUint(p.TotalAccesses, 10),
+			strconv.FormatFloat(p.DynamicPJ, 'g', -1, 64),
+			strconv.FormatFloat(p.LeakagePJ, 'g', -1, 64),
+			strconv.FormatFloat(p.TotalPJ, 'g', -1, 64),
+			strconv.FormatFloat(p.NormEnergy, 'g', -1, 64),
+			strconv.FormatFloat(p.NormCycles, 'g', -1, 64),
+			strconv.FormatBool(p.Pareto),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable renders the sweep as a human-readable table, frontier
+// points starred, sorted in canonical point order.
+func WriteTable(w io.Writer, r *Report) error {
+	if _, err := fmt.Fprintf(w, "  %-14s %-18s %8s %7s %10s %8s %8s  %s\n",
+		"scheme", "knobs", "cycles", "ipc", "energy(uJ)", "E/base", "cyc/base", "pareto"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		star := ""
+		if p.Pareto {
+			star = "*"
+		}
+		if _, err := fmt.Fprintf(w, "  %-14s %-18s %8d %7.3f %10.2f %8.3f %8.3f  %s\n",
+			p.Scheme, p.Knobs, p.Cycles, p.IPC, p.TotalPJ/1e6,
+			p.NormEnergy, p.NormCycles, star); err != nil {
+			return err
+		}
+	}
+	return nil
+}

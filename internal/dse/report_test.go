@@ -1,0 +1,224 @@
+package dse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// validReport builds a well-formed two-point report for the reader and
+// round-trip tests.
+func validReport() *Report {
+	return &Report{
+		Schema:    Schema,
+		Scale:     0.05,
+		SMs:       1,
+		Workloads: []string{"sgemm", "backprop"},
+		Baseline:  "mrf-stv/default",
+		Points: []Point{
+			{
+				Scheme: "mrf-stv", Knobs: "default", Base: "MRF@STV",
+				Cycles: 1000, WarpInstrs: 800, IPC: 0.8, TotalAccesses: 2400,
+				DynamicPJ: 12600, LeakagePJ: 37555.6, TotalPJ: 50155.6,
+				NormEnergy: 1, NormCycles: 1, Pareto: true,
+			},
+			{
+				Scheme: "part-adaptive", Knobs: "default", Base: "Partitioned+AdaptiveFRF",
+				Cycles: 1100, WarpInstrs: 800, IPC: 0.727, TotalAccesses: 2400,
+				DynamicPJ: 9800, LeakagePJ: 20000, TotalPJ: 29800,
+				NormEnergy: 0.594, NormCycles: 1.1, Pareto: true,
+			},
+		},
+	}
+}
+
+// mustWrite renders a report to bytes or fails the test.
+func mustWrite(t *testing.T, r *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteReadRoundTripStable(t *testing.T) {
+	b1 := mustWrite(t, validReport())
+	rep, err := Read(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := mustWrite(t, rep)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("write -> read -> write is not byte-stable:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestReadRejections is the satellite acceptance list: wrong schema,
+// non-finite and negative energy, duplicate grid points, and assorted
+// malformed shapes must all fail to read.
+func TestReadRejections(t *testing.T) {
+	corrupt := func(mutate func(*Report)) string {
+		r := validReport()
+		mutate(r)
+		var buf bytes.Buffer
+		if err := Write(&buf, r); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "EOF"},
+		{"not json", "pilot", "invalid"},
+		{"wrong schema", corrupt(func(r *Report) { r.Schema = "pilotrf-dse/v0" }), "schema"},
+		{"missing schema", corrupt(func(r *Report) { r.Schema = "" }), "schema"},
+		{"unknown field", strings.Replace(corrupt(func(*Report) {}), `"scale"`, `"scale2"`, 1), "unknown field"},
+		{"nan energy", strings.Replace(corrupt(func(*Report) {}), `"dynamic_pj": 12600`, `"dynamic_pj": NaN`, 1), "invalid"},
+		{"negative energy", corrupt(func(r *Report) { r.Points[0].DynamicPJ = -1 }), "dynamic_pj"},
+		{"negative leakage", corrupt(func(r *Report) { r.Points[1].LeakagePJ = -0.5 }), "leakage_pj"},
+		{"negative norm", corrupt(func(r *Report) { r.Points[1].NormEnergy = -2 }), "norm_energy"},
+		{"zero cycles", corrupt(func(r *Report) { r.Points[0].Cycles = 0 }), "cycles"},
+		{"nameless point", corrupt(func(r *Report) { r.Points[0].Scheme = "" }), "no scheme"},
+		{"duplicate grid point", corrupt(func(r *Report) { r.Points[1] = r.Points[0] }), "duplicate"},
+		{"bad scale", corrupt(func(r *Report) { r.Scale = 0 }), "scale"},
+		{"bad sms", corrupt(func(r *Report) { r.SMs = -1 }), "SMs"},
+	}
+	for _, tc := range cases {
+		_, err := Read(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: Read accepted a malformed report", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMarkParetoFrontier(t *testing.T) {
+	pts := []Point{
+		{Scheme: "a", Knobs: "default", TotalPJ: 100, Cycles: 1000}, // frontier: fastest
+		{Scheme: "b", Knobs: "default", TotalPJ: 60, Cycles: 1200},  // frontier: tradeoff
+		{Scheme: "c", Knobs: "default", TotalPJ: 40, Cycles: 1500},  // frontier: cheapest
+		{Scheme: "d", Knobs: "default", TotalPJ: 70, Cycles: 1300},  // dominated by b
+		{Scheme: "e", Knobs: "default", TotalPJ: 100, Cycles: 1001}, // dominated by a
+	}
+	MarkPareto(pts)
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": false, "e": false}
+	for _, p := range pts {
+		if p.Pareto != want[p.Scheme] {
+			t.Errorf("%s: pareto = %v, want %v", p.Scheme, p.Pareto, want[p.Scheme])
+		}
+	}
+
+	fr := Frontier(pts)
+	if len(fr) != 3 {
+		t.Fatalf("frontier has %d points, want 3", len(fr))
+	}
+	for i := 1; i < len(fr); i++ {
+		if fr[i].TotalPJ < fr[i-1].TotalPJ {
+			t.Errorf("frontier not sorted by energy: %v before %v", fr[i-1].TotalPJ, fr[i].TotalPJ)
+		}
+	}
+}
+
+// TestMarkParetoTies: identical points dominate nothing and both stay
+// on the frontier.
+func TestMarkParetoTies(t *testing.T) {
+	pts := []Point{
+		{Scheme: "a", TotalPJ: 50, Cycles: 100},
+		{Scheme: "b", TotalPJ: 50, Cycles: 100},
+	}
+	MarkPareto(pts)
+	if !pts[0].Pareto || !pts[1].Pareto {
+		t.Errorf("tied points lost frontier membership: %v %v", pts[0].Pareto, pts[1].Pareto)
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	r := validReport()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(r.Points) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(r.Points))
+	}
+	if !strings.HasPrefix(lines[0], "scheme,knobs,base,cycles,ipc") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	wantFields := strings.Count(lines[0], ",")
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != wantFields {
+			t.Errorf("CSV row %d has %d separators, want %d", i, got, wantFields)
+		}
+	}
+}
+
+func TestWriteTableMarksFrontier(t *testing.T) {
+	r := validReport()
+	r.Points[1].Pareto = false
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(r.Points) {
+		t.Fatalf("table has %d lines, want %d", len(lines), 1+len(r.Points))
+	}
+	if !strings.HasSuffix(strings.TrimRight(lines[1], " "), "*") {
+		t.Errorf("frontier row not starred: %q", lines[1])
+	}
+	if strings.HasSuffix(strings.TrimRight(lines[2], " "), "*") {
+		t.Errorf("dominated row starred: %q", lines[2])
+	}
+}
+
+// FuzzReadDSEReport asserts the reader never panics on arbitrary bytes,
+// and that any report it accepts survives a write -> read -> write
+// round trip byte-identically (the canonical-form property).
+func FuzzReadDSEReport(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, (&Report{Schema: Schema, Scale: 1, SMs: 1})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	r := validReport()
+	buf.Reset()
+	if err := Write(&buf, r); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"schema":"pilotrf-dse/v1"}`))
+	f.Add([]byte(`{"schema":"pilotrf-dse/v1","scale":1e309}`))
+	f.Add([]byte(`{"schema":"bogus"}`))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var w1 bytes.Buffer
+		if err := Write(&w1, rep); err != nil {
+			t.Fatalf("accepted report fails to write: %v", err)
+		}
+		rep2, err := Read(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("written report fails to re-read: %v", err)
+		}
+		var w2 bytes.Buffer
+		if err := Write(&w2, rep2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Errorf("write -> read -> write unstable:\n%s\nvs\n%s", w1.Bytes(), w2.Bytes())
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"pilotrf/internal/design"
+)
+
+// sweepOpts is the small-but-real sweep the determinism tests run: two
+// schemes, two workloads, heavily scaled down.
+func sweepOpts(workers int) Options {
+	return Options{
+		Schemes:   []string{"mrf-stv", "part-adaptive"},
+		Workloads: []string{"sgemm", "backprop"},
+		Scale:     0.02,
+		SMs:       1,
+		Workers:   workers,
+		Replay:    true,
+	}
+}
+
+// TestSweepByteIdenticalAcrossWorkers is the acceptance property: the
+// report bytes must not depend on the worker count.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) []byte {
+		rep, err := Sweep(context.Background(), sweepOpts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("-parallel 1 and -parallel 8 reports differ:\n%s\nvs\n%s", seq, par)
+	}
+}
+
+// TestSweepReportShape checks the swept report end to end: canonical
+// point order, a validated read-back, sane normalization against the
+// mrf-stv baseline, and at least one frontier point.
+func TestSweepReportShape(t *testing.T) {
+	rep, err := Sweep(context.Background(), sweepOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("swept report fails its own reader: %v", err)
+	}
+	if back.Baseline != "mrf-stv/default" {
+		t.Errorf("baseline = %q, want mrf-stv/default", back.Baseline)
+	}
+	// Registry order: every mrf-stv point precedes every part-adaptive
+	// point, and grid points within a scheme keep Grid() order.
+	lastMRF, firstPart := -1, len(back.Points)
+	for i, p := range back.Points {
+		switch p.Scheme {
+		case "mrf-stv":
+			lastMRF = i
+		case "part-adaptive":
+			if i < firstPart {
+				firstPart = i
+			}
+		default:
+			t.Errorf("unexpected scheme %q in filtered sweep", p.Scheme)
+		}
+	}
+	if lastMRF > firstPart {
+		t.Errorf("points not in registry order: mrf-stv at %d after part-adaptive at %d", lastMRF, firstPart)
+	}
+	sch := design.MustLookup("part-adaptive")
+	wantPoints := len(sch.Grid()) + len(design.MustLookup("mrf-stv").Grid())
+	if len(back.Points) != wantPoints {
+		t.Errorf("%d points, want %d (the two schemes' grids)", len(back.Points), wantPoints)
+	}
+	var frontier int
+	for _, p := range back.Points {
+		if p.Pareto {
+			frontier++
+		}
+		if p.TotalPJ <= 0 || p.Cycles <= 0 || p.IPC <= 0 {
+			t.Errorf("%s/%s: degenerate point %+v", p.Scheme, p.Knobs, p)
+		}
+	}
+	if frontier == 0 {
+		t.Error("no Pareto frontier points marked")
+	}
+	for _, p := range back.Points {
+		if p.Scheme == "mrf-stv" && p.Knobs == "default" {
+			if p.NormEnergy != 1 || p.NormCycles != 1 {
+				t.Errorf("baseline normalization = %v/%v, want 1/1", p.NormEnergy, p.NormCycles)
+			}
+		}
+	}
+}
+
+func TestSweepUnknownSchemeRejected(t *testing.T) {
+	opts := sweepOpts(1)
+	opts.Schemes = []string{"mrf-stv", "bogus"}
+	_, err := Sweep(context.Background(), opts)
+	if err == nil {
+		t.Fatal("sweep accepted an unknown scheme")
+	}
+	if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "mrf-stv") {
+		t.Errorf("error %q does not name the bad scheme and the valid list", err)
+	}
+}
+
+func TestSweepUnknownWorkloadRejected(t *testing.T) {
+	opts := sweepOpts(1)
+	opts.Workloads = []string{"sgemm", "nonesuch"}
+	if _, err := Sweep(context.Background(), opts); err == nil {
+		t.Fatal("sweep accepted an unknown workload")
+	}
+}

@@ -101,6 +101,15 @@ func LeakagePJ(d regfile.Design, cycles int64) float64 {
 	return LeakageMW(d) * nanos
 }
 
+// GatedLeakagePJ integrates GatedLeakageMW over a run — the leakage of a
+// liveness-gated design whose rows were powered on for the given
+// fraction of row-cycles (the internal/design GREENER scheme's measured
+// live fraction).
+func GatedLeakagePJ(d regfile.Design, occupancy float64, cycles int64) float64 {
+	nanos := float64(cycles) / ClockGHz
+	return GatedLeakageMW(d, occupancy) * nanos
+}
+
 // GatedLeakageMW returns a design's leakage when the rows of unallocated
 // registers are power-gated — the "Warped Register File" direction the
 // paper cites as related work, modeled here as an extension. occupancy is

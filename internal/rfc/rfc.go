@@ -48,6 +48,11 @@ type Config struct {
 	// on a read miss are installed in the cache (the ISCA'11 design
 	// installs them).
 	AllocateOnReadMiss bool
+	// Hints, when non-empty, switches the cache to compiler-assisted
+	// allocation: only the hinted registers may hold entries; accesses
+	// to any other register bypass straight to the MRF without a tag
+	// probe (the compiler knows statically they are never cached).
+	Hints []isa.Reg
 }
 
 // DefaultConfig returns the paper's comparison configuration for the
@@ -70,16 +75,35 @@ type Stats struct {
 	Fills     uint64 // RFC installs on read miss
 	Evictions uint64 // entries displaced (any state)
 	DirtyWB   uint64 // displaced or flushed dirty entries written to MRF
-	TagChecks uint64 // CAM tag probes (every read and write)
+	TagChecks uint64 // CAM tag probes (every read and write of a cacheable register)
 	Flushes   uint64 // warp flushes (two-level scheduler demotions)
+	// Bypasses of the compiler-assisted mode: accesses to non-hinted
+	// registers that went straight to the MRF without a tag probe.
+	ReadBypass  uint64
+	WriteBypass uint64
 }
 
-// MRFReads returns the number of MRF read accesses induced (read misses).
-func (s Stats) MRFReads() uint64 { return s.ReadMiss }
+// Add folds another run's counters in.
+func (s *Stats) Add(o Stats) {
+	s.ReadHits += o.ReadHits
+	s.ReadMiss += o.ReadMiss
+	s.Writes += o.Writes
+	s.Fills += o.Fills
+	s.Evictions += o.Evictions
+	s.DirtyWB += o.DirtyWB
+	s.TagChecks += o.TagChecks
+	s.Flushes += o.Flushes
+	s.ReadBypass += o.ReadBypass
+	s.WriteBypass += o.WriteBypass
+}
+
+// MRFReads returns the number of MRF read accesses induced (read misses
+// and compiler-directed bypasses).
+func (s Stats) MRFReads() uint64 { return s.ReadMiss + s.ReadBypass }
 
 // MRFWrites returns the number of MRF write accesses induced (dirty
-// writebacks).
-func (s Stats) MRFWrites() uint64 { return s.DirtyWB }
+// writebacks and compiler-directed bypasses).
+func (s Stats) MRFWrites() uint64 { return s.DirtyWB + s.WriteBypass }
 
 // HitRate returns the read hit rate, or 0 with no reads.
 func (s Stats) HitRate() float64 {
@@ -104,6 +128,9 @@ type Cache struct {
 	warps [][]entry
 	clock uint64
 	stats Stats
+	// hintMask is the admitted-register bitmask when Config.Hints is
+	// set; 0 admits everything (the dynamic ISCA'11 mode).
+	hintMask uint64
 }
 
 // New returns an empty cache.
@@ -115,7 +142,19 @@ func New(cfg Config) *Cache {
 	for i := range c.warps {
 		c.warps[i] = make([]entry, cfg.EntriesPerWarp)
 	}
+	for _, r := range cfg.Hints {
+		if !r.Valid() {
+			panic(fmt.Sprintf("rfc: hint register %s", r))
+		}
+		c.hintMask |= uint64(1) << uint(r)
+	}
 	return c
+}
+
+// Admits reports whether register r may allocate an entry: always true
+// in the dynamic mode, only for hinted registers in the compiler mode.
+func (c *Cache) Admits(r isa.Reg) bool {
+	return c.hintMask == 0 || c.hintMask&(uint64(1)<<uint(r)) != 0
 }
 
 // Config returns the cache configuration.
@@ -165,6 +204,12 @@ func (c *Cache) Read(warp int, r isa.Reg) bool {
 	if !r.Valid() {
 		panic(fmt.Sprintf("rfc: read of %s", r))
 	}
+	if !c.Admits(r) {
+		// Compiler-directed bypass: no tag probe is spent on a register
+		// statically known never to be cached.
+		c.stats.ReadBypass++
+		return false
+	}
 	es := c.slot(warp)
 	c.stats.TagChecks++
 	c.clock++
@@ -187,10 +232,16 @@ func (c *Cache) Read(warp int, r isa.Reg) bool {
 // allocates (or updates) the register in the cache and marks it dirty;
 // the MRF is only written when the entry is later displaced or flushed.
 // When the allocation displaces a dirty entry, Write returns that
-// register and true so the caller can issue the MRF writeback.
+// register and true so the caller can issue the MRF writeback. A
+// compiler-directed bypass (non-hinted register) returns r itself with
+// writeback true: the result goes straight to the MRF.
 func (c *Cache) Write(warp int, r isa.Reg) (victim isa.Reg, writeback bool) {
 	if !r.Valid() {
 		panic(fmt.Sprintf("rfc: write of %s", r))
+	}
+	if !c.Admits(r) {
+		c.stats.WriteBypass++
+		return r, true
 	}
 	es := c.slot(warp)
 	c.stats.TagChecks++

@@ -5,23 +5,19 @@ import (
 	"sync"
 	"testing"
 
-	"pilotrf/internal/regfile"
+	"pilotrf/internal/design"
 	"pilotrf/internal/workloads"
 )
 
-// TestConcurrentRunsIndependent runs 4 workloads x 4 designs at once —
-// every combination in its own goroutine against its own GPU — and
-// compares each result to a sequential reference run. Under -race this
-// is the contract the parallel campaign engine and the job server stand
-// on: sim.New/RunKernels share no mutable package state, so concurrent
-// runs are exactly as deterministic as sequential ones.
+// TestConcurrentRunsIndependent runs 4 workloads x every registered
+// design scheme at once — every combination in its own goroutine against
+// its own GPU — and compares each result to a sequential reference run.
+// Under -race this is the contract the parallel campaign engine and the
+// job server stand on: sim.New/RunKernels share no mutable package
+// state, so concurrent runs are exactly as deterministic as sequential
+// ones. Sweeping design.All() means every newly registered scheme is
+// covered automatically.
 func TestConcurrentRunsIndependent(t *testing.T) {
-	designs := []regfile.Design{
-		regfile.DesignMonolithicSTV,
-		regfile.DesignMonolithicNTV,
-		regfile.DesignPartitioned,
-		regfile.DesignPartitionedAdaptive,
-	}
 	names := []string{"sgemm", "backprop", "srad", "WP"}
 
 	type combo struct {
@@ -36,10 +32,13 @@ func TestConcurrentRunsIndependent(t *testing.T) {
 			t.Fatal(err)
 		}
 		w = w.Scale(0.05)
-		for _, d := range designs {
-			cfg := DefaultConfig().WithDesign(d)
+		for _, sch := range design.All() {
+			cfg, err := DefaultConfig().WithScheme(sch, sch.DefaultKnobs())
+			if err != nil {
+				t.Fatal(err)
+			}
 			cfg.NumSMs = 1
-			combos = append(combos, combo{w: w, cfg: cfg, key: fmt.Sprintf("%s/%v", name, d)})
+			combos = append(combos, combo{w: w, cfg: cfg, key: fmt.Sprintf("%s/%s", name, sch.Name())})
 		}
 	}
 

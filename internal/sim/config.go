@@ -17,6 +17,7 @@ package sim
 import (
 	"fmt"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/energy"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
@@ -115,9 +116,21 @@ type Config struct {
 	UseRFC bool
 	// RFC sizes the cache (per active warp).
 	RFC rfc.Config
+	// RFCCompilerHints switches the RFC to compiler-assisted allocation:
+	// at each kernel launch the compiler's static top-N registers (N =
+	// the RFC's entries per warp) become the cache's admission hints and
+	// every other register bypasses to the MRF (arXiv 2310.17501).
+	RFCCompilerHints bool
 	// RFCMRFLatency is the access latency of the MRF behind the RFC
 	// (1 at STV, 3 at NTV).
 	RFCMRFLatency int
+
+	// Gating, when set, attaches a liveness gating tracker per SM
+	// (GREENER-style register power gating): rows wake on first write,
+	// a warp's rows sleep at retire, and KernelStats.Gating accumulates
+	// the live/gated row-cycle counts the design's leakage pricing
+	// uses. Purely observational — timing is bit-identical either way.
+	Gating *design.GatingConfig
 
 	// Execution latencies in cycles.
 	ALULatency    int
@@ -280,6 +293,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: RFC enabled without warp storage")
 	case c.UseRFC && c.RF.Design != regfile.DesignMonolithicSTV && c.RF.Design != regfile.DesignMonolithicNTV:
 		return fmt.Errorf("sim: the RFC fronts a monolithic MRF, not a partitioned design")
+	case c.RFCCompilerHints && !c.UseRFC:
+		return fmt.Errorf("sim: RFC compiler hints without UseRFC")
+	case c.Gating != nil && c.Gating.Granularity <= 0:
+		return fmt.Errorf("sim: gating granularity %d", c.Gating.Granularity)
 	case c.ProfTopN <= 0:
 		return fmt.Errorf("sim: profiling top-N %d", c.ProfTopN)
 	case c.Energy != nil && c.Energy.Design() != c.RF.Design:

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/energy"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/profile"
@@ -12,22 +13,22 @@ import (
 	"pilotrf/internal/workloads"
 )
 
-// ledgerDesigns is the design sweep the conservation property covers.
-var ledgerDesigns = []regfile.Design{
-	regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV,
-	regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive,
-}
-
 // TestEnergyLedgerConservationAllWorkloads is the tentpole property
-// test: for every design, run the whole Table I workload suite (scaled
-// down for test speed) with the ledger attached, and require the
-// streamed attribution to reproduce the aggregate energy package
-// figures bit-exactly — epoch sums, heatmap sums, kernel cycles,
-// dynamic pJ, and leakage pJ.
+// test: for every registered design scheme, run the whole Table I
+// workload suite (scaled down for test speed) with the ledger attached,
+// and require the streamed attribution to reproduce the aggregate
+// energy package figures bit-exactly — epoch sums, heatmap sums, kernel
+// cycles, dynamic pJ, and leakage pJ. Sweeping design.All() puts every
+// newly registered scheme under the conservation property for free.
 func TestEnergyLedgerConservationAllWorkloads(t *testing.T) {
-	for _, d := range ledgerDesigns {
+	for _, sch := range design.All() {
+		k := sch.DefaultKnobs()
+		d := sch.Base(k)
 		led := energy.NewLedger(d, 0)
-		cfg := testConfig().WithDesign(d)
+		cfg, err := testConfig().WithScheme(sch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		cfg.Energy = led
 		var parts [4]uint64
 		var cycles int64
@@ -65,8 +66,13 @@ func TestEnergyLedgerConservationAllWorkloads(t *testing.T) {
 // are purely observational: enabling both leaves cycle counts and every
 // access statistic bit-identical.
 func TestEnergyLedgerZeroPerturbation(t *testing.T) {
-	for _, d := range ledgerDesigns {
-		base := testConfig().WithDesign(d)
+	for _, sch := range design.All() {
+		k := sch.DefaultKnobs()
+		d := sch.Base(k)
+		base, err := testConfig().WithScheme(sch, k)
+		if err != nil {
+			t.Fatal(err)
+		}
 		instr := base
 		instr.Energy = energy.NewLedger(d, 0)
 		instr.Audit = &profile.AuditLog{}

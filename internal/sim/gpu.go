@@ -213,15 +213,10 @@ func (g *GPU) RunKernel(k *kernel.Kernel) (KernelStats, error) {
 			lowFracs = append(lowFracs, a.LowEpochFraction())
 		}
 		if s.rfcCache != nil {
-			cs := s.rfcCache.Stats()
-			ks.RFC.ReadHits += cs.ReadHits
-			ks.RFC.ReadMiss += cs.ReadMiss
-			ks.RFC.Writes += cs.Writes
-			ks.RFC.Fills += cs.Fills
-			ks.RFC.Evictions += cs.Evictions
-			ks.RFC.DirtyWB += cs.DirtyWB
-			ks.RFC.TagChecks += cs.TagChecks
-			ks.RFC.Flushes += cs.Flushes
+			ks.RFC.Add(s.rfcCache.Stats())
+		}
+		if s.gate != nil {
+			ks.Gating.Add(s.gate.Stats())
 		}
 	}
 	ks.PilotFraction = stats.Mean(pilotFracs)

@@ -3,18 +3,12 @@ package sim
 import (
 	"testing"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/kernel"
 	"pilotrf/internal/perfscope"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/stats"
 )
-
-var perfDesigns = []regfile.Design{
-	regfile.DesignMonolithicSTV,
-	regfile.DesignMonolithicNTV,
-	regfile.DesignPartitioned,
-	regfile.DesignPartitionedAdaptive,
-}
 
 // perfRun executes k under cfg with a fresh profiler attached.
 func perfRun(t *testing.T, cfg Config, k *kernel.Kernel, wall bool) (KernelStats, *perfscope.Profiler) {
@@ -26,23 +20,27 @@ func perfRun(t *testing.T, cfg Config, k *kernel.Kernel, wall bool) (KernelStats
 
 // TestPerfscopeDoesNotPerturbTiming is the acceptance gate: attaching
 // the profiler — census and wall-clock both — must leave cycle and
-// access counts bit-identical on every design.
+// access counts bit-identical on every registered design scheme.
 func TestPerfscopeDoesNotPerturbTiming(t *testing.T) {
 	k := seedKernel(t)
-	for _, d := range perfDesigns {
-		plain := mustRun(t, testConfig().WithDesign(d), k)
-		profiled, p := perfRun(t, testConfig().WithDesign(d), k, true)
+	for _, sch := range design.All() {
+		cfg, err := testConfig().WithScheme(sch, sch.DefaultKnobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := mustRun(t, cfg, k)
+		profiled, p := perfRun(t, cfg, k, true)
 		if plain.Cycles != profiled.Cycles {
-			t.Errorf("%s: profiling changed cycles %d -> %d", d, plain.Cycles, profiled.Cycles)
+			t.Errorf("%s: profiling changed cycles %d -> %d", sch.Name(), plain.Cycles, profiled.Cycles)
 		}
 		if plain.RegReads != profiled.RegReads || plain.RegWrites != profiled.RegWrites {
-			t.Errorf("%s: profiling changed access counts", d)
+			t.Errorf("%s: profiling changed access counts", sch.Name())
 		}
 		if plain.PartAccesses != profiled.PartAccesses {
-			t.Errorf("%s: profiling changed partition routing", d)
+			t.Errorf("%s: profiling changed partition routing", sch.Name())
 		}
 		if p.Census().SMCycles == 0 {
-			t.Errorf("%s: profiler observed nothing", d)
+			t.Errorf("%s: profiler observed nothing", sch.Name())
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
 	"pilotrf/internal/kernel"
@@ -11,11 +12,6 @@ import (
 	"pilotrf/internal/stats"
 	"pilotrf/internal/workloads"
 )
-
-var recordDesigns = []regfile.Design{
-	regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV,
-	regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive,
-}
 
 // seedKernel loads memory (whose contents depend on Config.Seed) and
 // branches on the loaded value, so different seeds produce different
@@ -49,23 +45,27 @@ func recordRun(t *testing.T, cfg Config, k *kernel.Kernel, every int64) (KernelS
 
 // TestFlightRecorderDoesNotPerturbTiming is the acceptance gate:
 // attaching a recorder must leave cycle and access counts bit-identical
-// on every design.
+// on every registered design scheme.
 func TestFlightRecorderDoesNotPerturbTiming(t *testing.T) {
 	k := seedKernel(t)
-	for _, d := range recordDesigns {
-		plain := mustRun(t, testConfig().WithDesign(d), k)
-		recorded, log := recordRun(t, testConfig().WithDesign(d), k, 32)
+	for _, sch := range design.All() {
+		cfg, err := testConfig().WithScheme(sch, sch.DefaultKnobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := mustRun(t, cfg, k)
+		recorded, log := recordRun(t, cfg, k, 32)
 		if plain.Cycles != recorded.Cycles {
-			t.Errorf("%s: recording changed cycles %d -> %d", d, plain.Cycles, recorded.Cycles)
+			t.Errorf("%s: recording changed cycles %d -> %d", sch.Name(), plain.Cycles, recorded.Cycles)
 		}
 		if plain.RegReads != recorded.RegReads || plain.RegWrites != recorded.RegWrites {
-			t.Errorf("%s: recording changed access counts", d)
+			t.Errorf("%s: recording changed access counts", sch.Name())
 		}
 		if plain.PartAccesses != recorded.PartAccesses {
-			t.Errorf("%s: recording changed partition routing", d)
+			t.Errorf("%s: recording changed partition routing", sch.Name())
 		}
 		if len(log.Events) == 0 {
-			t.Errorf("%s: recorder captured nothing", d)
+			t.Errorf("%s: recorder captured nothing", sch.Name())
 		}
 	}
 }
@@ -141,14 +141,18 @@ func TestRecordingEventStreamShape(t *testing.T) {
 }
 
 // TestReplayVerificationAllWorkloadsAllDesigns is the acceptance
-// property test: for every tier-1 workload and every RF design, a
-// re-run of the recorded configuration must reproduce the event stream
-// exactly.
+// property test: for every tier-1 workload and every registered design
+// scheme, a re-run of the recorded configuration must reproduce the
+// event stream exactly. New schemes registered in internal/design are
+// swept automatically.
 func TestReplayVerificationAllWorkloadsAllDesigns(t *testing.T) {
-	for _, d := range recordDesigns {
+	for _, sch := range design.All() {
 		for _, w := range workloads.All() {
 			w = w.Scale(0.05)
-			cfg := testConfig().WithDesign(d)
+			cfg, err := testConfig().WithScheme(sch, sch.DefaultKnobs())
+			if err != nil {
+				t.Fatal(err)
+			}
 
 			rec := NewFlightRecorder(&cfg, w.Name, 64)
 			cfg.Record = rec
@@ -157,21 +161,24 @@ func TestReplayVerificationAllWorkloadsAllDesigns(t *testing.T) {
 				t.Fatal(err)
 			}
 			if _, err := g.RunKernels(w.Name, w.Kernels); err != nil {
-				t.Fatalf("%s/%s record: %v", d, w.Name, err)
+				t.Fatalf("%s/%s record: %v", sch.Name(), w.Name, err)
 			}
 
 			chk := flightrec.NewChecker(rec.Log())
-			cfg2 := testConfig().WithDesign(d)
+			cfg2, err := testConfig().WithScheme(sch, sch.DefaultKnobs())
+			if err != nil {
+				t.Fatal(err)
+			}
 			cfg2.Record = chk
 			g2, err := New(cfg2)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if _, err := g2.RunKernels(w.Name, w.Kernels); err != nil {
-				t.Fatalf("%s/%s replay: %v", d, w.Name, err)
+				t.Fatalf("%s/%s replay: %v", sch.Name(), w.Name, err)
 			}
 			if err := chk.Err(); err != nil {
-				t.Errorf("%s/%s: %v", d, w.Name, err)
+				t.Errorf("%s/%s: %v", sch.Name(), w.Name, err)
 			}
 		}
 	}

@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"pilotrf/internal/design"
+)
+
+// WithScheme returns the config reconfigured for a registered design
+// scheme at the given knobs. For the four legacy schemes at default
+// knobs the result is identical to WithDesign — the design plug-in
+// refactor is observably pure, which the pre-refactor goldens assert.
+func (c Config) WithScheme(s design.Scheme, k design.Knobs) (Config, error) {
+	set, err := s.Settings(k)
+	if err != nil {
+		return c, err
+	}
+	c.RF = set.RF
+	if set.ProfTopN > 0 {
+		c.ProfTopN = set.ProfTopN
+	}
+	if set.TwoLevel {
+		c.Policy = PolicyTL
+		if set.TLActiveWarps > 0 {
+			c.TLActiveWarps = set.TLActiveWarps
+		}
+	}
+	c.UseRFC = set.UseRFC
+	c.RFCCompilerHints = set.RFCCompilerHints
+	if set.UseRFC {
+		c.RFC = set.RFC
+	}
+	if set.RFCMRFLatency > 0 {
+		c.RFCMRFLatency = set.RFCMRFLatency
+	}
+	c.Gating = set.Gating
+	return c, nil
+}
+
+// DesignRun summarizes the run for Scheme.Energy pricing: the neutral
+// integer-count view internal/design consumes.
+func (r RunStats) DesignRun() design.Run {
+	return design.Run{
+		PartAccesses:  r.PartAccesses(),
+		Cycles:        r.TotalCycles(),
+		TotalAccesses: r.TotalAccesses(),
+		RFC:           r.RFCTotals(),
+		Gating:        r.GatingTotals(),
+	}
+}

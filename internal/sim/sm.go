@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
 	"pilotrf/internal/isa"
@@ -28,6 +29,9 @@ type sm struct {
 	rf       *regfile.File
 	profCtl  *profile.Controller
 	rfcCache *rfc.Cache
+	// gate tracks register liveness for power gating (nil unless
+	// Config.Gating is set). Purely observational.
+	gate *design.GatingTracker
 
 	now      int64
 	events   eventHeap
@@ -110,7 +114,15 @@ func newSM(id int, cfg *Config, run *runState) (*sm, error) {
 			// slot space (only active-pool warps ever hold entries).
 			rc.Warps = cfg.WarpSlotsPerSM
 		}
+		if cfg.RFCCompilerHints {
+			// Compiler-assisted allocation: the kernel's static top-N
+			// registers (one per cache entry) are the admission set.
+			rc.Hints = profile.CompilerTopN(run.kern.Prog, rc.EntriesPerWarp)
+		}
 		s.rfcCache = rfc.New(rc)
+	}
+	if cfg.Gating != nil {
+		s.gate = design.NewGatingTracker(*cfg.Gating, cfg.WarpSlotsPerSM, cfg.WarpRegBudget)
 	}
 	if cfg.Audit != nil {
 		s.profCtl.SM = id
@@ -318,6 +330,9 @@ func (s *sm) tick() {
 	if s.en != nil {
 		s.energyCycle()
 	}
+	if s.gate != nil {
+		s.gate.Tick()
+	}
 	if pf != nil {
 		t0 = pf.lap(perfscope.PhaseEnergy, t0)
 	}
@@ -412,6 +427,11 @@ func (s *sm) issue(sc *schedState, w *warpCtx) {
 	// Register access accounting happens at scheduling time — this is
 	// where the paper's pilot counters hook in.
 	s.countAccesses(w, in)
+	if s.gate != nil {
+		if d, ok := in.DstReg(); ok {
+			s.gate.OnWrite(w.slot, d)
+		}
+	}
 
 	// The dataflow digest folds the operand values actually consumed —
 	// before execute, so a dst that doubles as a src hashes its input.
@@ -523,6 +543,9 @@ func (s *sm) retireWarp(w *warpCtx) {
 	w.done = true
 	w.finishCycle = s.now
 	s.liveWarps--
+	if s.gate != nil {
+		s.gate.OnWarpRetire(w.slot)
+	}
 	s.trace(TraceWarpRetire, w.slot, -1, "cta %d", w.cta.id)
 	if s.rec != nil {
 		s.record(flightrec.KindWarpRetire, w.slot, -1, uint64(w.cta.id), 0, "")

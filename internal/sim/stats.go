@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"pilotrf/internal/design"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/rfc"
@@ -47,6 +48,10 @@ type KernelStats struct {
 
 	// RFC holds the register-file-cache event counts when UseRFC is set.
 	RFC rfc.Stats
+
+	// Gating holds the liveness-gating row-cycle counters when
+	// Config.Gating is set.
+	Gating design.GatingStats
 
 	// IssueSlots is cycles x peak issue width; utilization is
 	// WarpInstrs / IssueSlots.
@@ -241,15 +246,16 @@ func (r RunStats) FaultTotals() fault.Stats {
 func (r RunStats) RFCTotals() rfc.Stats {
 	var t rfc.Stats
 	for i := range r.Kernels {
-		s := r.Kernels[i].RFC
-		t.ReadHits += s.ReadHits
-		t.ReadMiss += s.ReadMiss
-		t.Writes += s.Writes
-		t.Fills += s.Fills
-		t.Evictions += s.Evictions
-		t.DirtyWB += s.DirtyWB
-		t.TagChecks += s.TagChecks
-		t.Flushes += s.Flushes
+		t.Add(r.Kernels[i].RFC)
+	}
+	return t
+}
+
+// GatingTotals sums the liveness-gating counters across kernels.
+func (r RunStats) GatingTotals() design.GatingStats {
+	var t design.GatingStats
+	for i := range r.Kernels {
+		t.Add(r.Kernels[i].Gating)
 	}
 	return t
 }

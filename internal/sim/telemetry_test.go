@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"pilotrf/internal/design"
 	"pilotrf/internal/kernel"
 	"pilotrf/internal/regfile"
 	"pilotrf/internal/stats"
@@ -30,17 +31,16 @@ func checkStallInvariant(t *testing.T, label string, ks KernelStats) {
 
 func TestStallBreakdownSumsAcrossDesignsAndPolicies(t *testing.T) {
 	k := tracedKernel(t)
-	designs := []regfile.Design{
-		regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV,
-		regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive,
-	}
-	for _, d := range designs {
+	for _, sch := range design.All() {
 		for _, pol := range []Policy{PolicyGTO, PolicyLRR, PolicyTL, PolicyFetchGroup} {
-			cfg := testConfig().WithDesign(d)
+			cfg, err := testConfig().WithScheme(sch, sch.DefaultKnobs())
+			if err != nil {
+				t.Fatal(err)
+			}
 			cfg.Policy = pol
 			cfg.Stalls = true
 			ks := mustRun(t, cfg, k)
-			checkStallInvariant(t, d.String()+"/"+pol.String(), ks)
+			checkStallInvariant(t, sch.Name()+"/"+pol.String(), ks)
 		}
 	}
 }
@@ -84,24 +84,23 @@ func TestStallBreakdownZeroWhenDisabled(t *testing.T) {
 // counts (and access counts) bit-identical on every design.
 func TestTelemetryDoesNotPerturbTiming(t *testing.T) {
 	k := tracedKernel(t)
-	designs := []regfile.Design{
-		regfile.DesignMonolithicSTV, regfile.DesignMonolithicNTV,
-		regfile.DesignPartitioned, regfile.DesignPartitionedAdaptive,
-	}
-	for _, d := range designs {
-		plain := mustRun(t, testConfig().WithDesign(d), k)
-		cfg := testConfig().WithDesign(d)
+	for _, sch := range design.All() {
+		cfg, err := testConfig().WithScheme(sch, sch.DefaultKnobs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := mustRun(t, cfg, k)
 		cfg.Stalls = true
 		cfg.Metrics = NewMetricsRecorder(0)
 		instrumented := mustRun(t, cfg, k)
 		if plain.Cycles != instrumented.Cycles {
-			t.Errorf("%s: telemetry changed cycles %d -> %d", d, plain.Cycles, instrumented.Cycles)
+			t.Errorf("%s: telemetry changed cycles %d -> %d", sch.Name(), plain.Cycles, instrumented.Cycles)
 		}
 		if plain.RegReads != instrumented.RegReads || plain.RegWrites != instrumented.RegWrites {
-			t.Errorf("%s: telemetry changed access counts", d)
+			t.Errorf("%s: telemetry changed access counts", sch.Name())
 		}
 		if plain.PartAccesses != instrumented.PartAccesses {
-			t.Errorf("%s: telemetry changed partition routing", d)
+			t.Errorf("%s: telemetry changed partition routing", sch.Name())
 		}
 	}
 }

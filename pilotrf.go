@@ -20,9 +20,12 @@
 package pilotrf
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"pilotrf/internal/design"
+	"pilotrf/internal/dse"
 	"pilotrf/internal/energy"
 	"pilotrf/internal/fault"
 	"pilotrf/internal/flightrec"
@@ -50,6 +53,66 @@ const (
 	// DesignPartitionedAdaptive is the paper's full proposal.
 	DesignPartitionedAdaptive = regfile.DesignPartitionedAdaptive
 )
+
+// DesignScheme is a pluggable register-file design scheme from the
+// internal/design registry: the four paper designs plus the rival
+// schemes (GREENER-style liveness gating, the compiler-assisted
+// register file cache). Each scheme owns its knob grid, its simulator
+// configuration, and its energy pricing.
+type DesignScheme = design.Scheme
+
+// DesignKnobs selects one point of a scheme's tuning grid (a partition
+// size, RFC entry count, or gating granularity, plus a supply voltage).
+// The zero value is every scheme's default.
+type DesignKnobs = design.Knobs
+
+// AllSchemes returns every registered design scheme in registration
+// order — the canonical order sweep reports use.
+func AllSchemes() []DesignScheme { return design.All() }
+
+// LookupScheme finds a registered design scheme by name ("mrf-stv",
+// "part-adaptive", "greener", "rfc-hints", ...).
+func LookupScheme(name string) (DesignScheme, bool) { return design.Lookup(name) }
+
+// SchemeNames returns the registered scheme names in registration order.
+func SchemeNames() []string { return design.Names() }
+
+// NewSchemeSimulator builds a Simulator configured by a registered
+// design scheme at the given knobs: the scheme picks the register file
+// organization, scheduler, RFC, and gating settings, while opts
+// supplies the rest (SMs, profiling, scale). opts.Design, opts.Scheduler,
+// and opts.FRFRegisters are ignored — the scheme owns them.
+func NewSchemeSimulator(scheme DesignScheme, knobs DesignKnobs, opts Options) (*Simulator, error) {
+	opts = opts.withDefaults()
+	cfg, err := sim.DefaultConfig().WithScheme(scheme, knobs)
+	if err != nil {
+		return nil, err
+	}
+	cfg.NumSMs = opts.SMs
+	cfg.Profiling = opts.Profiling
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{opts: opts, cfg: cfg}, nil
+}
+
+// DSEOptions configures a design-space-exploration sweep (see RunDSE).
+type DSEOptions = dse.Options
+
+// DSEReport is a completed sweep: every scheme-by-knob grid point,
+// priced and Pareto-marked ("pilotrf-dse/v1" on disk).
+type DSEReport = dse.Report
+
+// DSEPoint is one evaluated grid cell of a DSEReport.
+type DSEPoint = dse.Point
+
+// RunDSE sweeps the registered design schemes across their knob grids
+// and the selected workloads, returning the energy-vs-IPC
+// Pareto-frontier report. The report is byte-identical at any worker
+// count.
+func RunDSE(ctx context.Context, opts DSEOptions) (*DSEReport, error) {
+	return dse.Sweep(ctx, opts)
+}
 
 // Technique selects how the FRF-resident registers are identified.
 type Technique = profile.Technique
